@@ -1,0 +1,134 @@
+// Command hpccg runs the HPCCG mini-application on the simulated cluster,
+// mirroring the original Mantevo binary's interface (nx ny nz) with added
+// fault-tolerance controls.
+//
+// Examples:
+//
+//	hpccg -nx 16 -ny 16 -nz 16 -procs 64 -mode intra
+//	hpccg -mode intra -kill 1:0@0.5   # crash replica lane 0 of rank 1 at 50% of the ref runtime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/apps/hpccg"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func main() {
+	nx := flag.Int("nx", 16, "local grid x extent")
+	ny := flag.Int("ny", 16, "local grid y extent")
+	nz := flag.Int("nz", 16, "local grid z extent")
+	iters := flag.Int("iters", 25, "CG iterations")
+	procs := flag.Int("procs", 16, "physical processes")
+	tasks := flag.Int("tasks", 8, "tasks per intra-parallel section")
+	modeName := flag.String("mode", "intra", "native | classic | intra")
+	kill := flag.String("kill", "", "crash spec rank:lane@frac (replicated modes only)")
+	flag.Parse()
+
+	var mode experiments.Mode
+	switch *modeName {
+	case "native":
+		mode = experiments.Native
+	case "classic":
+		mode = experiments.Classic
+	case "intra":
+		mode = experiments.Intra
+	default:
+		fmt.Fprintf(os.Stderr, "hpccg: unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	cfg := hpccg.Config{
+		Nx: *nx, Ny: *ny, Nz: *nz,
+		Iters: *iters, Tasks: *tasks, Scale: 1, PlaneScale: 1,
+		IntraDdot: true, IntraSparsemv: true,
+	}
+	logical := *procs
+	if mode.Replicated() {
+		logical = *procs / 2
+	}
+	if logical < 1 {
+		fmt.Fprintln(os.Stderr, "hpccg: need at least 1 logical process")
+		os.Exit(2)
+	}
+
+	// Reference runtime, to place the crash fraction.
+	refWall := run(mode, logical, cfg, nil, false)
+
+	var sched *fault.Schedule
+	if *kill != "" {
+		if !mode.Replicated() {
+			fmt.Fprintln(os.Stderr, "hpccg: -kill requires a replicated mode")
+			os.Exit(2)
+		}
+		var rank, lane int
+		var frac float64
+		if _, err := fmt.Sscanf(strings.ReplaceAll(*kill, "@", " "), "%d:%d %f", &rank, &lane, &frac); err != nil {
+			fmt.Fprintf(os.Stderr, "hpccg: bad -kill spec %q: %v\n", *kill, err)
+			os.Exit(2)
+		}
+		sched = &fault.Schedule{Crashes: []fault.Crash{{
+			Logical: rank, Lane: lane, Time: sim.Time(float64(refWall) * frac),
+		}}}
+		run(mode, logical, cfg, sched, true)
+		return
+	}
+	run(mode, logical, cfg, nil, true)
+}
+
+func run(mode experiments.Mode, logical int, cfg hpccg.Config, sched *fault.Schedule, report bool) sim.Time {
+	cluster := experiments.NewCluster(experiments.ClusterConfig{
+		Logical: logical,
+		Mode:    mode,
+		SendLog: sched != nil,
+	})
+	if sched != nil {
+		sched.Install(cluster.E, cluster.Sys)
+		for _, c := range sched.Crashes {
+			fmt.Printf("arming crash of replica (rank %d, lane %d) at t=%v\n", c.Logical, c.Lane, c.Time)
+		}
+	}
+	var res *hpccg.Result
+	cluster.Launch(func(rt core.Runner) {
+		r, err := hpccg.Run(rt, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rank %d: %v\n", rt.LogicalRank(), err)
+			return
+		}
+		if rt.LogicalRank() == 0 && res == nil {
+			res = r
+		}
+	})
+	wall, err := cluster.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpccg:", err)
+		os.Exit(1)
+	}
+	if !report || res == nil {
+		return wall
+	}
+	fmt.Printf("mode=%s procs=%d logical=%d grid=%dx%dx%d iters=%d\n",
+		mode, cluster.PhysProcs(), logical, cfg.Nx, cfg.Ny, cfg.Nz, res.Iters)
+	fmt.Printf("wall=%v residual=%.3e\n", wall, res.Residual)
+	names := make([]string, 0, len(res.Kernels))
+	for n := range res.Kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		kt := res.Kernels[n]
+		fmt.Printf("  %-10s %10v  (%d calls, update wait %v)\n", n, kt.Wall, kt.Calls, kt.UpdateWait)
+	}
+	st := res.Stats
+	fmt.Printf("sections=%d tasksRun=%d tasksReceived=%d recovered=%d updateBytes=%d\n",
+		st.Sections, st.TasksRun, st.TasksReceived, st.TasksRecovered, st.UpdateBytes)
+	return wall
+}

@@ -1,0 +1,72 @@
+// GTC demo: inout task arguments under fire.
+//
+// Runs the GTC particle-in-cell surrogate (charge deposition + particle
+// push, where new positions depend on old ones) on four replicated logical
+// processes, injects an exponential failure schedule, and shows that the
+// survivors finish with exactly the failure-free physics (conserved
+// particle weight, identical field energy).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps/gtc"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func main() {
+	cfg := gtc.DefaultConfig()
+	cfg.Steps = 8
+
+	run := func(withFailures bool) (*gtc.Result, []fault.Crash) {
+		cluster := experiments.NewCluster(experiments.ClusterConfig{
+			Logical: 4,
+			Mode:    experiments.Intra,
+			SendLog: true,
+		})
+		var crashes []fault.Crash
+		if withFailures {
+			sched := fault.Exponential(4, 2, 300*sim.Microsecond, sim.Millisecond, 7)
+			sched.Install(cluster.E, cluster.Sys)
+			crashes = sched.Crashes
+		}
+		var res *gtc.Result
+		cluster.Launch(func(rt core.Runner) {
+			r, err := gtc.Run(rt, cfg)
+			if err != nil {
+				fmt.Println("rank failed:", err)
+				return
+			}
+			if rt.LogicalRank() == 0 && res == nil {
+				res = r
+			}
+		})
+		if _, err := cluster.Run(); err != nil {
+			fmt.Println("run failed:", err)
+			return nil, nil
+		}
+		return res, crashes
+	}
+
+	clean, _ := run(false)
+	faulty, crashes := run(true)
+	if clean == nil || faulty == nil {
+		return
+	}
+
+	fmt.Printf("failure-free : weight=%.6f fieldEnergy=%.6e time=%v\n",
+		clean.TotalWeight, clean.FieldEnergy, clean.Total)
+	fmt.Printf("with crashes : weight=%.6f fieldEnergy=%.6e time=%v\n",
+		faulty.TotalWeight, faulty.FieldEnergy, faulty.Total)
+	for _, c := range crashes {
+		fmt.Printf("  crashed replica (rank %d, lane %d) at t=%v\n", c.Logical, c.Lane, c.Time)
+	}
+	if clean.FieldEnergy == faulty.FieldEnergy && clean.TotalWeight == faulty.TotalWeight {
+		fmt.Println("physics identical despite failures: intra-parallelization is fault tolerant")
+	} else {
+		fmt.Println("MISMATCH: results diverged")
+	}
+}

@@ -1,0 +1,82 @@
+// HPCCG demo: the paper's headline experiment in miniature.
+//
+// Runs the HPCCG conjugate-gradient mini-app on a 32-process simulated
+// cluster in the three configurations of the evaluation — native Open MPI,
+// classic active replication (SDR-MPI), and replication with
+// intra-parallelization — and prints wall time and workload efficiency for
+// each, plus the per-kernel breakdown of the intra run.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps/hpccg"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	const phys = 32
+	cfg := hpccg.DefaultConfig()
+	cfg.Nx, cfg.Ny, cfg.Nz = 16, 16, 16
+	cfg.Iters = 20
+
+	type outcome struct {
+		mode     experiments.Mode
+		procs    int
+		wall     sim.Time
+		residual float64
+		kernels  map[string]sim.Time
+	}
+	var runs []outcome
+
+	for _, mode := range []experiments.Mode{experiments.Native, experiments.Classic, experiments.Intra} {
+		logical := phys
+		c := cfg
+		if mode.Replicated() {
+			logical = phys / 2
+			c.Nz *= 2 // double the per-logical problem, as in §V-C
+		}
+		var res *hpccg.Result
+		cluster := experiments.NewCluster(experiments.ClusterConfig{Logical: logical, Mode: mode})
+		cluster.Launch(func(rt core.Runner) {
+			r, err := hpccg.Run(rt, c)
+			if err != nil {
+				fmt.Println("rank failed:", err)
+				return
+			}
+			if rt.LogicalRank() == 0 {
+				res = r
+			}
+		})
+		if _, err := cluster.Run(); err != nil {
+			fmt.Println(mode, "failed:", err)
+			return
+		}
+		ks := map[string]sim.Time{}
+		for name, kt := range res.Kernels {
+			ks[name] = kt.Wall
+		}
+		runs = append(runs, outcome{mode, cluster.PhysProcs(), res.Total, res.Residual, ks})
+	}
+
+	native := runs[0]
+	fmt.Printf("%-10s %6s %12s %12s %6s\n", "config", "procs", "time", "residual", "eff")
+	for _, r := range runs {
+		eff := float64(native.wall) * float64(native.procs) / (float64(r.wall) * float64(r.procs))
+		fmt.Printf("%-10s %6d %12v %12.3e %6.2f\n", r.mode, r.procs, r.wall, r.residual, eff)
+	}
+
+	intra := runs[2]
+	fmt.Println("\nintra per-kernel wall time (rank 0):")
+	names := make([]string, 0, len(intra.kernels))
+	for n := range intra.kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-10s %v\n", n, intra.kernels[n])
+	}
+}

@@ -1,0 +1,61 @@
+// Package apputil holds helpers shared by the benchmark applications.
+package apputil
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// KernelTime is the accumulated wall time of one kernel, with the portion
+// spent waiting on update transfers after local tasks finished (the dashed
+// area of Figure 5a).
+type KernelTime struct {
+	Wall       sim.Time
+	UpdateWait sim.Time
+	Calls      int
+}
+
+// Clock accumulates per-kernel wall times for one replica.
+type Clock struct {
+	rt    core.Runner
+	Times map[string]*KernelTime
+}
+
+// NewClock creates a clock over rt.
+func NewClock(rt core.Runner) *Clock {
+	return &Clock{rt: rt, Times: make(map[string]*KernelTime)}
+}
+
+// Track runs fn and charges its wall time (and update-wait delta) to the
+// named kernel.
+func (c *Clock) Track(name string, fn func()) {
+	t0 := c.rt.Now()
+	u0 := c.rt.Stats().UpdateWait
+	fn()
+	kt := c.Times[name]
+	if kt == nil {
+		kt = &KernelTime{}
+		c.Times[name] = kt
+	}
+	kt.Wall += c.rt.Now() - t0
+	kt.UpdateWait += c.rt.Stats().UpdateWait - u0
+	kt.Calls++
+}
+
+// Names returns the tracked kernel names in sorted order.
+func (c *Clock) Names() []string {
+	names := make([]string, 0, len(c.Times))
+	for n := range c.Times {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TaskBounds splits n items into nTasks contiguous ranges; range i is
+// [lo, hi). It distributes remainders evenly like the paper's n/N split.
+func TaskBounds(n, nTasks, i int) (lo, hi int) {
+	return n * i / nTasks, n * (i + 1) / nTasks
+}

@@ -1,0 +1,80 @@
+package apputil
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func TestTaskBoundsCoverEverything(t *testing.T) {
+	prop := func(nRaw, tRaw uint8) bool {
+		n := int(nRaw) + 1
+		tasks := int(tRaw)%16 + 1
+		covered := 0
+		prevHi := 0
+		for i := 0; i < tasks; i++ {
+			lo, hi := TaskBounds(n, tasks, i)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskBoundsBalance(t *testing.T) {
+	// No task may be more than one element larger than another.
+	for _, n := range []int{7, 8, 100, 1000} {
+		for _, tasks := range []int{1, 3, 8} {
+			min, max := n, 0
+			for i := 0; i < tasks; i++ {
+				lo, hi := TaskBounds(n, tasks, i)
+				if hi-lo < min {
+					min = hi - lo
+				}
+				if hi-lo > max {
+					max = hi - lo
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("n=%d tasks=%d: sizes vary by %d", n, tasks, max-min)
+			}
+		}
+	}
+}
+
+func TestClockTracksWallAndNames(t *testing.T) {
+	e := sim.New()
+	net := simnet.New(e, simnet.InfiniBand20G, 1)
+	w := mpi.NewWorld(e, net, 1, perf.Grid5000, nil)
+	w.Launch("p", 0, func(r *mpi.Rank) {
+		rt := core.NewNative(r)
+		c := NewClock(rt)
+		c.Track("beta", func() { rt.Compute(perf.Work{Flops: 2e9}) }) // 1 s
+		c.Track("alpha", func() { rt.Compute(perf.Work{Flops: 4e9}) })
+		c.Track("alpha", func() { rt.Compute(perf.Work{Flops: 4e9}) })
+		if got := c.Times["beta"].Wall; got != sim.Second {
+			t.Errorf("beta wall = %v", got)
+		}
+		if got := c.Times["alpha"]; got.Wall != 4*sim.Second || got.Calls != 2 {
+			t.Errorf("alpha = %+v", got)
+		}
+		names := c.Names()
+		if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+			t.Errorf("names = %v", names)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package ckpt models coordinated checkpoint/restart (cCR) efficiency and
+// the failure behavior of replicated systems: the background analysis of
+// §II that motivates replication (and intra-parallelization) at exascale.
+//
+// The cCR model is Daly's complete model (J.T. Daly, FGCS 2006): with an
+// exponential failure distribution of mean M, checkpoint cost delta,
+// restart cost R and checkpoint interval tau, the expected wall time per
+// unit of solve time is
+//
+//	w(tau) = (M/tau) * exp(R/M) * (exp((tau+delta)/M) - 1)
+//
+// and the workload efficiency is E = 1/w. The replication side implements
+// the birthday-bound analysis of Ferreira et al. [1] / Casanova et al.
+// [16]: with N replica pairs, the expected number of node failures until
+// some pair has lost both members is ~sqrt(pi*N/2), which stretches the
+// mean time to interrupt far beyond the system MTBF.
+package ckpt
+
+import "math"
+
+// Wall returns Daly's expected wall-clock factor w(tau) >= 1: wall time
+// per unit of useful work for checkpoint interval tau, checkpoint cost
+// delta, restart cost r, and exponential MTBF m (all in the same unit).
+func Wall(tau, delta, r, m float64) float64 {
+	if tau <= 0 {
+		return math.Inf(1)
+	}
+	return m / tau * math.Exp(r/m) * (math.Expm1((tau + delta) / m))
+}
+
+// Efficiency returns 1/Wall, the workload efficiency of cCR at interval
+// tau.
+func Efficiency(tau, delta, r, m float64) float64 { return 1 / Wall(tau, delta, r, m) }
+
+// OptimalInterval returns the checkpoint interval minimizing Wall, found
+// numerically by golden-section search (Daly's closed form is an
+// approximation; the search is exact to tolerance).
+func OptimalInterval(delta, r, m float64) float64 {
+	lo, hi := delta/100+1e-9, 50*m
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	for i := 0; i < 200 && (b-a) > 1e-9*(1+b); i++ {
+		if Wall(c, delta, r, m) < Wall(d, delta, r, m) {
+			b = d
+		} else {
+			a = c
+		}
+		c = b - phi*(b-a)
+		d = a + phi*(b-a)
+	}
+	return (a + b) / 2
+}
+
+// BestEfficiency returns the cCR efficiency at the optimal interval.
+func BestEfficiency(delta, r, m float64) float64 {
+	return Efficiency(OptimalInterval(delta, r, m), delta, r, m)
+}
+
+// MeanFailuresToInterrupt returns the expected number of single-node
+// failures a dual-replicated system of n logical processes absorbs before
+// some logical process loses both replicas (no repair), which is the
+// birthday bound sqrt(pi*n/2) + 2/3.
+func MeanFailuresToInterrupt(n int) float64 {
+	return math.Sqrt(math.Pi*float64(n)/2) + 2.0/3.0
+}
+
+// ReplicationMTTI returns the mean time to interrupt of a dual-replicated
+// system with n logical processes (2n nodes) and per-node MTBF nodeMTBF:
+// failures arrive at rate 2n/nodeMTBF and the system absorbs
+// MeanFailuresToInterrupt(n) of them.
+func ReplicationMTTI(n int, nodeMTBF float64) float64 {
+	failureRate := 2 * float64(n) / nodeMTBF
+	return MeanFailuresToInterrupt(n) / failureRate
+}
+
+// SystemMTBF returns the unreplicated system MTBF for n nodes.
+func SystemMTBF(n int, nodeMTBF float64) float64 { return nodeMTBF / float64(n) }
+
+// ReplicatedEfficiency returns the workload efficiency of a replicated
+// system whose failure-free efficiency is base (0.5 for classic
+// replication, higher with intra-parallelization): the system still
+// checkpoints, but at the much longer MTTI of the replicated system, so
+// the cCR correction is tiny.
+func ReplicatedEfficiency(base float64, n int, nodeMTBF, delta, r float64) float64 {
+	mtti := ReplicationMTTI(n, nodeMTBF)
+	return base * BestEfficiency(delta, r, mtti)
+}

@@ -1,0 +1,115 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWallBasics(t *testing.T) {
+	// No failures in practice (m huge): wall factor ~ 1 + delta/tau.
+	w := Wall(100, 1, 1, 1e12)
+	if math.Abs(w-1.01) > 1e-3 {
+		t.Fatalf("wall = %v, want ~1.01", w)
+	}
+	if !math.IsInf(Wall(0, 1, 1, 100), 1) {
+		t.Fatal("tau=0 must be infinite")
+	}
+}
+
+func TestEfficiencyInverse(t *testing.T) {
+	if e := Efficiency(100, 1, 1, 1e12); math.Abs(e-1/1.01) > 1e-3 {
+		t.Fatalf("eff = %v", e)
+	}
+}
+
+func TestOptimalIntervalNearYoung(t *testing.T) {
+	// For m >> delta the optimum approaches Young's sqrt(2*delta*m).
+	delta, r, m := 1.0, 1.0, 10000.0
+	opt := OptimalInterval(delta, r, m)
+	young := math.Sqrt(2 * delta * m)
+	if math.Abs(opt-young)/young > 0.15 {
+		t.Fatalf("opt = %v, young = %v", opt, young)
+	}
+	// It must actually be a minimum.
+	w := Wall(opt, delta, r, m)
+	for _, f := range []float64{0.5, 0.8, 1.25, 2} {
+		if Wall(opt*f, delta, r, m) < w-1e-12 {
+			t.Fatalf("not optimal: Wall(%v)=%v < Wall(%v)=%v", opt*f, Wall(opt*f, delta, r, m), opt, w)
+		}
+	}
+}
+
+func TestEfficiencyDropsWithMTBF(t *testing.T) {
+	// The §II story: as MTBF shrinks, cCR efficiency collapses below 50%.
+	delta, r := 600.0, 600.0 // 10-minute checkpoint/restart (PFS-class)
+	eHigh := BestEfficiency(delta, r, 24*3600)
+	eLow := BestEfficiency(delta, r, 3600)
+	if eHigh <= eLow {
+		t.Fatal("efficiency should improve with MTBF")
+	}
+	if eLow >= 0.5 {
+		t.Fatalf("at 1h MTBF with 10-min checkpoints, eff = %v, expected < 0.5", eLow)
+	}
+}
+
+func TestMeanFailuresToInterrupt(t *testing.T) {
+	// sqrt(pi/2*n)+2/3: spot checks.
+	if v := MeanFailuresToInterrupt(1); math.Abs(v-(math.Sqrt(math.Pi/2)+2.0/3)) > 1e-12 {
+		t.Fatalf("n=1: %v", v)
+	}
+	small, big := MeanFailuresToInterrupt(100), MeanFailuresToInterrupt(10000)
+	if big <= small {
+		t.Fatal("monotone in n")
+	}
+	// Ferreira et al. report hundreds of failures absorbed at large scale.
+	if big < 100 {
+		t.Fatalf("n=10000 absorbs %v failures, expected > 100", big)
+	}
+}
+
+func TestReplicationMTTIBeatsSystemMTBF(t *testing.T) {
+	nodeMTBF := 5.0 * 365 * 24 // 5 years in hours
+	n := 100000
+	sys := SystemMTBF(2*n, nodeMTBF)
+	rep := ReplicationMTTI(n, nodeMTBF)
+	if rep < 50*sys {
+		t.Fatalf("replication MTTI %v should vastly exceed system MTBF %v", rep, sys)
+	}
+}
+
+func TestReplicatedEfficiencyNearBase(t *testing.T) {
+	// With heavy PFS checkpoints (10 min) the correction is visible but
+	// small; with fast multi-level checkpoints (1 min) it is negligible.
+	e := ReplicatedEfficiency(0.5, 100000, 5*365*24*3600, 600, 600)
+	if e < 0.45 || e > 0.5 {
+		t.Fatalf("replicated efficiency = %v, want in [0.45, 0.5]", e)
+	}
+	e = ReplicatedEfficiency(0.5, 100000, 5*365*24*3600, 60, 60)
+	if e < 0.49 || e > 0.5 {
+		t.Fatalf("replicated efficiency (fast ckpt) = %v, want ~0.5", e)
+	}
+	// And with intra-parallelization's base efficiency it stays near it.
+	e = ReplicatedEfficiency(0.7, 100000, 5*365*24*3600, 60, 60)
+	if e < 0.68 || e > 0.7 {
+		t.Fatalf("intra replicated efficiency = %v, want ~0.7", e)
+	}
+}
+
+// Property: Wall is >= 1 + delta/tau (you always pay checkpoints) and
+// decreasing in MTBF.
+func TestWallBoundsProperty(t *testing.T) {
+	prop := func(tauR, deltaR, mR uint16) bool {
+		tau := float64(tauR%1000) + 1
+		delta := float64(deltaR%100) + 0.1
+		m := float64(mR)*10 + 100
+		w := Wall(tau, delta, 0, m)
+		if w < 1+delta/tau-1e-9 {
+			return false
+		}
+		return Wall(tau, delta, 0, 2*m) <= w+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/replication"
+)
+
+// localEngine executes every task of a section on the calling process. It
+// backs the two baselines of the evaluation: the native (unreplicated) runs
+// and classic state-machine replication, where all replicas redundantly
+// execute all computation (Figure 1a).
+type localEngine struct {
+	name string
+}
+
+func (en *localEngine) mode() string { return en.name }
+
+func (en *localEngine) runSection(r *R) error {
+	for _, t := range r.tasks {
+		r.runTaskLocally(t)
+		t.done = true
+	}
+	return nil
+}
+
+// NewNative creates a Runner for an unreplicated rank: logical ranks are
+// physical ranks and sections execute entirely locally. This is the
+// "Open MPI" configuration of the evaluation.
+func NewNative(rank *mpi.Rank) *R {
+	return &R{
+		comm:      mpiComm{r: rank},
+		engine:    &localEngine{name: "native"},
+		machine:   rank.Machine(),
+		costScale: 1,
+	}
+}
+
+// NewClassic creates a Runner for one replica under classic state-machine
+// replication: communication is replicated, and every replica executes
+// every task. This is the "SDR-MPI" configuration of the evaluation.
+func NewClassic(p *replication.Proc) *R {
+	return &R{
+		comm:      replComm{p: p},
+		engine:    &localEngine{name: "classic"},
+		machine:   p.R.Machine(),
+		costScale: 1,
+	}
+}

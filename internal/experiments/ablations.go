@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/apps/gtc"
+	"repro/internal/apps/hpccg"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// runModeOpts is runMode with explicit intra-engine options.
+func runModeOpts(mode Mode, logical int, opts core.Options, main appMain) (*Measure, error) {
+	c := NewCluster(ClusterConfig{Logical: logical, Mode: mode, IntraOpts: opts})
+	meas := &Measure{Mode: mode, Kernels: map[string]*apputil.KernelTime{}}
+	var firstErr error
+	c.Launch(func(rt core.Runner) {
+		total, kernels, st, err := main(rt)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		meas.add(total, kernels, st)
+	})
+	wall, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	meas.finish(wall, c.PhysProcs())
+	return meas, nil
+}
+
+// AblationTaskGranularity sweeps the number of tasks per section on HPCCG
+// (§V-B: 8 tasks per section is the paper's default; fewer tasks reduce
+// transfer/compute overlap, more tasks add synchronization overhead).
+func AblationTaskGranularity(physProcs int) (*Table, error) {
+	iters := 10
+	native, err := runMode(Native, physProcs, hpccgMain(hpccgPaperConfig(Native, iters, false)))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "granularity",
+		Title:  fmt.Sprintf("Ablation: tasks per section (HPCCG, %d physical processes)", physProcs),
+		Header: []string{"tasks/section", "intra time (s)", "efficiency", "update wait (s)"},
+	}
+	for _, tasks := range []int{1, 2, 4, 8, 16, 32, 64} {
+		cfg := hpccgPaperConfig(Intra, iters, false)
+		cfg.Tasks = tasks
+		m, err := runMode(Intra, physProcs/2, hpccgMain(cfg))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", tasks), secs(m.AppTotal),
+			fmt.Sprintf("%.3f", efficiency(native, m)),
+			secs(m.Stats.UpdateWait))
+	}
+	t.Note("paper's default is 8 tasks/section (4 per replica)")
+	return t, nil
+}
+
+// AblationInoutMode compares the two protections against the Figure 2
+// hazard — copy-on-receive vs atomic update application — on GTC, the
+// application with inout task arguments (§III-B2 claims similar cost).
+func AblationInoutMode(physProcs int) (*Table, error) {
+	cfg := Fig6cConfig()
+	main := func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+		res, err := gtc.Run(rt, cfg)
+		if err != nil {
+			return 0, nil, core.Stats{}, err
+		}
+		return res.Total, res.Kernels, res.Stats, nil
+	}
+	t := &Table{
+		ID:     "inout",
+		Title:  fmt.Sprintf("Ablation: inout protection mode (GTC, %d logical processes)", physProcs/2),
+		Header: []string{"mode", "time (s)", "copy overhead (s)", "copy/section"},
+	}
+	for _, mode := range []core.InoutMode{core.CopyRestore, core.AtomicApply} {
+		m, err := runModeOpts(Intra, physProcs/2, core.Options{Mode: mode}, main)
+		if err != nil {
+			return nil, err
+		}
+		frac := float64(m.Stats.CopyTime) / float64(m.Stats.SectionTime)
+		t.AddRow(mode.String(), secs(m.AppTotal), secs(m.Stats.CopyTime),
+			fmt.Sprintf("%.1f%%", 100*frac))
+	}
+	t.Note("paper (§III-B2): both solutions have similar cost")
+	t.Note("paper (§V-D): extra copies add ~6%% overhead on GTC's affected tasks")
+	return t, nil
+}
+
+// AblationDegree measures intra-parallelization efficiency as a function
+// of the replication degree on a fixed HPCCG problem. The paper argues
+// (§II) that degree 2 is the appropriate choice for crash failures; this
+// table shows why higher degrees do not pay: sections speed up at most
+// d-fold while the resource bill grows d-fold and the replicated parts
+// are never shared.
+func AblationDegree(logical int) (*Table, error) {
+	cfg := hpccg.Config{
+		Nx: 16, Ny: 16, Nz: 16, Iters: 10, Tasks: 12,
+		Scale: 512, PlaneScale: 64,
+		IntraDdot: true, IntraSparsemv: true,
+	}
+	main := hpccgMain(cfg)
+	native, err := runMode(Native, logical, main)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "degree",
+		Title:  fmt.Sprintf("Extension: replication degree (HPCCG, %d logical processes, constant problem)", logical),
+		Header: []string{"degree", "phys procs", "time (s)", "efficiency"},
+	}
+	t.AddRow("1 (native)", fmt.Sprintf("%d", native.PhysProcs), secs(native.AppTotal), "1.00")
+	for _, d := range []int{2, 3} {
+		c := NewCluster(ClusterConfig{Logical: logical, Mode: Intra, Degree: d})
+		m := &Measure{Mode: Intra, Kernels: map[string]*apputil.KernelTime{}}
+		var firstErr error
+		c.Launch(func(rt core.Runner) {
+			total, kernels, st, err := main(rt)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			m.add(total, kernels, st)
+		})
+		wall, err := c.Run()
+		if err != nil {
+			return nil, err
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		m.finish(wall, c.PhysProcs())
+		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", m.PhysProcs),
+			secs(m.AppTotal), fmt.Sprintf("%.2f", efficiency(native, m)))
+	}
+	t.Note("degree 2 tolerates any single failure per logical rank; degree 3 buys little speedup for 1.5x the resources (§II)")
+	return t, nil
+}

@@ -1,0 +1,135 @@
+// Package experiments reconstructs the paper's evaluation: it builds
+// simulated clusters, runs the benchmark applications under the three
+// configurations of the paper (native Open MPI, classic active replication
+// à la SDR-MPI, and intra-parallelization), and regenerates every figure
+// of §V as a table.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/perf"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Mode selects the fault-tolerance configuration, matching the three bar
+// groups of the paper's figures.
+type Mode int
+
+// Modes of the evaluation.
+const (
+	Native  Mode = iota // unreplicated Open MPI baseline
+	Classic             // SDR-MPI: classic state-machine replication
+	Intra               // replication with intra-parallelization
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Native:
+		return "Open MPI"
+	case Classic:
+		return "SDR-MPI"
+	case Intra:
+		return "intra"
+	}
+	return "?"
+}
+
+// Replicated reports whether the mode uses process replication.
+func (m Mode) Replicated() bool { return m != Native }
+
+// ClusterConfig describes one experiment's platform and mode.
+type ClusterConfig struct {
+	Logical   int // logical MPI ranks
+	Mode      Mode
+	Degree    int // replication degree (paper: 2)
+	Net       simnet.Config
+	Machine   perf.Machine
+	SendLog   bool         // enable crash coverage logs (off for perf runs)
+	IntraOpts core.Options // options for the intra engine
+}
+
+// DefaultPlatform returns the Grid'5000-like platform of §V-B.
+func DefaultPlatform() (simnet.Config, perf.Machine) {
+	return simnet.InfiniBand20G, perf.Grid5000
+}
+
+// Cluster is a ready-to-run simulated machine.
+type Cluster struct {
+	Cfg ClusterConfig
+	E   *sim.Engine
+	W   *mpi.World
+	Sys *replication.System // nil in native mode
+}
+
+// NewCluster builds the simulated platform for cfg.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Degree == 0 {
+		cfg.Degree = 2
+	}
+	if cfg.Net.Bandwidth == 0 {
+		cfg.Net, cfg.Machine = DefaultPlatform()
+	}
+	phys := cfg.Logical
+	if cfg.Mode.Replicated() {
+		phys *= cfg.Degree
+	}
+	e := sim.New()
+	nodes := (phys + cfg.Net.CoresPerNode - 1) / cfg.Net.CoresPerNode
+	net := simnet.New(e, cfg.Net, nodes)
+	w := mpi.NewWorld(e, net, phys, cfg.Machine, nil)
+	c := &Cluster{Cfg: cfg, E: e, W: w}
+	if cfg.Mode.Replicated() {
+		c.Sys = replication.New(w, replication.Config{
+			Logical: cfg.Logical,
+			Degree:  cfg.Degree,
+			SendLog: cfg.SendLog,
+		})
+	}
+	return c
+}
+
+// PhysProcs returns the number of physical processes the cluster uses (the
+// "ps" annotation in Figure 6).
+func (c *Cluster) PhysProcs() int { return c.W.Size() }
+
+// Launch starts program on every logical process (on every replica in
+// replicated modes). The runner passed to program matches the cluster
+// mode.
+func (c *Cluster) Launch(program func(rt core.Runner)) {
+	switch c.Cfg.Mode {
+	case Native:
+		c.W.LaunchAll("native", func(r *mpi.Rank) {
+			program(core.NewNative(r))
+		})
+	case Classic:
+		c.Sys.Launch("classic", func(p *replication.Proc) {
+			program(core.NewClassic(p))
+		})
+	case Intra:
+		c.Sys.Launch("intra", func(p *replication.Proc) {
+			program(core.NewIntra(p, c.Cfg.IntraOpts))
+		})
+	}
+}
+
+// Run drives the simulation to completion and returns the wall-clock time
+// of the run (the virtual time at which the last process finished).
+func (c *Cluster) Run() (sim.Time, error) {
+	if err := c.E.Run(); err != nil {
+		return 0, fmt.Errorf("experiments: %s run failed: %w", c.Cfg.Mode, err)
+	}
+	return c.E.Now(), nil
+}
+
+// RunProgram is the one-call convenience used by tests and benches: build,
+// launch, run.
+func RunProgram(cfg ClusterConfig, program func(rt core.Runner)) (sim.Time, error) {
+	c := NewCluster(cfg)
+	c.Launch(program)
+	return c.Run()
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/amg"
+	"repro/internal/apps/apputil"
+	"repro/internal/apps/gtc"
+	"repro/internal/apps/hpccg"
+	"repro/internal/apps/minighost"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SizeDivisor shrinks per-axis grid extents for laptop-scale runs while the
+// cost model charges the paper-scale problem (volume scales by its cube,
+// halo planes by its square). 8 keeps every figure run under a second of
+// real time while preserving time ratios.
+const SizeDivisor = 8
+
+// hpccgPaperConfig returns the paper's HPCCG setup (§V-C): per-logical
+// problem 128^3 in native runs, doubled (z-extent 256) under replication.
+func hpccgPaperConfig(mode Mode, iters int, intraWaxpby bool) hpccg.Config {
+	k := float64(SizeDivisor)
+	cfg := hpccg.Config{
+		Nx: 128 / SizeDivisor, Ny: 128 / SizeDivisor, Nz: 128 / SizeDivisor,
+		Iters: iters, Tasks: 8,
+		Scale: k * k * k, PlaneScale: k * k,
+		IntraDdot: true, IntraSparsemv: true, IntraWaxpby: intraWaxpby,
+	}
+	if mode.Replicated() {
+		cfg.Nz *= 2 // per-logical problem size doubles (§V-C)
+	}
+	return cfg
+}
+
+func hpccgMain(cfg hpccg.Config) appMain {
+	return func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+		res, err := hpccg.Run(rt, cfg)
+		if err != nil {
+			return 0, nil, core.Stats{}, err
+		}
+		return res.Total, res.Kernels, res.Stats, nil
+	}
+}
+
+// Fig5a regenerates Figure 5a: normalized per-kernel execution time and
+// efficiency for waxpby, ddot and sparsemv on 512 physical processes, with
+// the time spent on non-overlapped update transfers.
+func Fig5a(physProcs, iters int) (*Table, error) {
+	native, err := runMode(Native, physProcs, hpccgMain(hpccgPaperConfig(Native, iters, true)))
+	if err != nil {
+		return nil, err
+	}
+	classic, err := runMode(Classic, physProcs/2, hpccgMain(hpccgPaperConfig(Classic, iters, true)))
+	if err != nil {
+		return nil, err
+	}
+	intra, err := runMode(Intra, physProcs/2, hpccgMain(hpccgPaperConfig(Intra, iters, true)))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig5a",
+		Title:  fmt.Sprintf("HPCCG kernels, %d physical processes (normalized time; efficiency)", physProcs),
+		Header: []string{"kernel", "OpenMPI", "SDR-MPI", "SDR eff", "intra", "intra eff", "intra updates"},
+	}
+	for _, k := range []string{"waxpby", "ddot", "sparsemv"} {
+		base := native.Kernels[k].Wall
+		cw := classic.Kernels[k].Wall
+		iw := intra.Kernels[k].Wall
+		t.AddRow(k,
+			"1.00",
+			ratio(cw, base), fmt.Sprintf("%.2f", float64(base)/float64(cw)),
+			ratio(iw, base), fmt.Sprintf("%.2f", float64(base)/float64(iw)),
+			ratio(intra.Kernels[k].UpdateWait, base),
+		)
+	}
+	t.Note("paper: eff 1 / 0.5 / {waxpby 0.34, ddot 0.99, sparsemv 0.94}")
+	t.Note("'intra updates' is non-overlapped update-transfer time, normalized to OpenMPI")
+	return t, nil
+}
+
+// Fig5b regenerates Figure 5b: HPCCG total execution time under weak
+// scaling, with intra-parallelization applied to ddot and sparsemv only.
+func Fig5b(procCounts []int, iters int) (*Table, error) {
+	t := &Table{
+		ID:     "fig5b",
+		Title:  "HPCCG weak scaling (total execution time in seconds; efficiency)",
+		Header: []string{"phys procs", "OpenMPI", "SDR-MPI", "SDR eff", "intra", "intra eff"},
+	}
+	for _, p := range procCounts {
+		native, err := runMode(Native, p, hpccgMain(hpccgPaperConfig(Native, iters, false)))
+		if err != nil {
+			return nil, err
+		}
+		classic, err := runMode(Classic, p/2, hpccgMain(hpccgPaperConfig(Classic, iters, false)))
+		if err != nil {
+			return nil, err
+		}
+		intra, err := runMode(Intra, p/2, hpccgMain(hpccgPaperConfig(Intra, iters, false)))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", p),
+			secs(native.AppTotal),
+			secs(classic.AppTotal), fmt.Sprintf("%.2f", efficiency(native, classic)),
+			secs(intra.AppTotal), fmt.Sprintf("%.2f", efficiency(native, intra)),
+		)
+	}
+	t.Note("paper: SDR eff 0.5; intra eff 0.80 / 0.79 / 0.82 at 128 / 256 / 512")
+	return t, nil
+}
+
+// fig6 runs one application in the Figure 6 protocol: constant problem
+// size, native on `logical` processes, replicated modes on twice the
+// physical resources.
+func fig6(id, title string, logical int, main appMain, paperNote string) (*Table, error) {
+	native, err := runMode(Native, logical, main)
+	if err != nil {
+		return nil, err
+	}
+	classic, err := runMode(Classic, logical, main)
+	if err != nil {
+		return nil, err
+	}
+	intra, err := runMode(Intra, logical, main)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"config", "phys procs", "time (s)", "sections (s)", "others (s)", "efficiency"},
+	}
+	for _, m := range []*Measure{native, classic, intra} {
+		t.AddRow(m.Mode.String(),
+			fmt.Sprintf("%d", m.PhysProcs),
+			secs(m.AppTotal),
+			secs(m.Stats.SectionTime),
+			secs(m.AppTotal-m.Stats.SectionTime),
+			fmt.Sprintf("%.2f", efficiency(native, m)),
+		)
+	}
+	frac := float64(native.Stats.SectionTime) / float64(native.AppTotal)
+	t.Note("sections cover %.0f%% of the native execution time", 100*frac)
+	t.Note("%s", paperNote)
+	return t, nil
+}
+
+// Fig6aConfig is the AMG 27-point PCG problem of Figure 6a.
+func Fig6aConfig() amg.Config {
+	k := float64(SizeDivisor)
+	return amg.Config{
+		Nx: 96 / SizeDivisor, Ny: 96 / SizeDivisor, Nz: 96 / SizeDivisor,
+		Levels: 2, Solver: amg.PCG, Points: 27,
+		Iters: 6, CoarseIters: 4, Tasks: 8, SetupFactor: 12,
+		Scale: k * k * k, PlaneScale: k * k,
+		IntraSweeps: true,
+	}
+}
+
+// Fig6a regenerates Figure 6a: AMG2013, 27-point stencil, PCG solver.
+func Fig6a(logical int) (*Table, error) {
+	cfg := Fig6aConfig()
+	return fig6("fig6a", "AMG (27-point stencil, PCG solver)", logical,
+		func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+			res, err := amg.Run(rt, cfg)
+			if err != nil {
+				return 0, nil, core.Stats{}, err
+			}
+			return res.Total, res.Kernels, res.Stats, nil
+		},
+		"paper: eff 1 / 0.48 / 0.61, sections = 62% of native time")
+}
+
+// Fig6bConfig is the AMG 7-point GMRES problem of Figure 6b.
+func Fig6bConfig() amg.Config {
+	cfg := Fig6aConfig()
+	cfg.Solver = amg.GMRES
+	cfg.Points = 7
+	cfg.Iters = 8
+	cfg.Restart = 10
+	// The 7-point problem has far fewer nonzeros to sweep in the solve
+	// phase, so the (fixed-cost) setup weighs relatively more.
+	cfg.SetupFactor = 22
+	return cfg
+}
+
+// Fig6b regenerates Figure 6b: AMG2013, 7-point stencil, GMRES solver.
+func Fig6b(logical int) (*Table, error) {
+	cfg := Fig6bConfig()
+	return fig6("fig6b", "AMG (7-point stencil, GMRES solver)", logical,
+		func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+			res, err := amg.Run(rt, cfg)
+			if err != nil {
+				return 0, nil, core.Stats{}, err
+			}
+			return res.Total, res.Kernels, res.Stats, nil
+		},
+		"paper: eff 1 / 0.49 / 0.59, sections = 42% of native time")
+}
+
+// Fig6cConfig is the GTC problem of Figure 6c (mzetamax=64, npartdom=4,
+// micell=200 scaled down).
+func Fig6cConfig() gtc.Config {
+	return gtc.Config{
+		Cells: 64, PerCell: 25, Zones: 8,
+		Steps: 6, Dt: 0.02, Scale: 64, ShiftFrac: 0.05, AuxBytes: 180,
+		IntraCharge: true, IntraPush: true,
+	}
+}
+
+// Fig6c regenerates Figure 6c: the GTC particle-in-cell code.
+func Fig6c(logical int) (*Table, error) {
+	cfg := Fig6cConfig()
+	return fig6("fig6c", "GTC (gyrokinetic particle-in-cell)", logical,
+		func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+			res, err := gtc.Run(rt, cfg)
+			if err != nil {
+				return 0, nil, core.Stats{}, err
+			}
+			return res.Total, res.Kernels, res.Stats, nil
+		},
+		"paper: eff 1 / 0.49 / 0.71, sections = 75% of native time, inout copy ~6% on affected tasks")
+}
+
+// Fig6dConfig is the MiniGhost problem of Figure 6d (128x128x64, 27-point).
+func Fig6dConfig() minighost.Config {
+	k := float64(SizeDivisor)
+	return minighost.Config{
+		Nx: 128 / SizeDivisor, Ny: 128 / SizeDivisor, Nz: 64 / SizeDivisor,
+		Steps: 6, Vars: 4, ReduceVars: 4, Tasks: 8,
+		Scale: k * k * k, PlaneScale: k * k,
+		IntraGsum: true,
+	}
+}
+
+// Fig6d regenerates Figure 6d: MiniGhost (27-point stencil boundary
+// exchange).
+func Fig6d(logical int) (*Table, error) {
+	cfg := Fig6dConfig()
+	return fig6("fig6d", "MiniGhost (3D 27-point stencil)", logical,
+		func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+			res, err := minighost.Run(rt, cfg)
+			if err != nil {
+				return 0, nil, core.Stats{}, err
+			}
+			return res.Total, res.Kernels, res.Stats, nil
+		},
+		"paper: eff 1 / 0.49 / 0.51, sections = 10% of native time")
+}
+
+// CkptModelTable regenerates the §II motivation: cCR efficiency collapses
+// with shrinking MTBF while replication-based schemes hold theirs.
+func CkptModelTable() *Table {
+	t := &Table{
+		ID:    "ckpt",
+		Title: "Checkpoint/restart vs replication efficiency (Daly model, delta=R=600s)",
+		Header: []string{"nodes", "node MTBF", "sys MTBF (h)", "cCR eff",
+			"repl eff", "repl+intra eff (base 0.7)"},
+	}
+	const nodeMTBF = 5 * 365 * 24 * 3600.0 // 5 years in seconds
+	const delta, rst = 600.0, 600.0
+	for _, n := range []int{10000, 50000, 100000, 200000, 500000} {
+		sysM := ckpt.SystemMTBF(n, nodeMTBF)
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			"5y",
+			fmt.Sprintf("%.1f", sysM/3600),
+			fmt.Sprintf("%.2f", ckpt.BestEfficiency(delta, rst, sysM)),
+			fmt.Sprintf("%.2f", ckpt.ReplicatedEfficiency(0.5, n/2, nodeMTBF, delta, rst)),
+			fmt.Sprintf("%.2f", ckpt.ReplicatedEfficiency(0.7, n/2, nodeMTBF, delta, rst)),
+		)
+	}
+	t.Note("replication uses half the nodes for replicas: efficiencies already include the x2 resources")
+	t.Note("crossover: below the MTBF where cCR eff < 0.5, replication wins; intra-parallelization raises the bar to its base efficiency")
+	return t
+}

@@ -1,0 +1,113 @@
+// Package fault injects crash-stop failures into replicated runs: at fixed
+// virtual times, at protocol points inside intra-parallel sections (the
+// three cases of §III-B2), or randomly following an exponential MTBF, as a
+// real machine would produce them.
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/replication"
+	"repro/internal/sim"
+)
+
+// At schedules a crash of replica (logical, lane) at virtual time t.
+func At(e *sim.Engine, sys *replication.System, logical, lane int, t sim.Time) {
+	e.At(t, func() { sys.KillReplica(logical, lane) })
+}
+
+// Point identifies a protocol point inside a section (§III-B2).
+type Point uint8
+
+// Protocol points at which a crash can be injected.
+const (
+	BeforeExec Point = iota // before the task body runs
+	AfterExec               // after the body, before any update is sent
+	MidUpdate               // after one argument's update has been sent
+)
+
+func (p Point) String() string {
+	switch p {
+	case BeforeExec:
+		return "before-exec"
+	case AfterExec:
+		return "after-exec"
+	case MidUpdate:
+		return "mid-update"
+	}
+	return "?"
+}
+
+// CrashPlan crashes the calling replica the n-th time the given protocol
+// point is reached (counting from 1). Install it in core.Options.Hooks.
+type CrashPlan struct {
+	Point Point
+	Nth   int
+	count int
+	fired bool
+}
+
+// Hooks builds the intra-engine hooks implementing the plan for the given
+// replica. Pass p == nil (or install on one replica only) elsewhere.
+func (cp *CrashPlan) Hooks(self *replication.Proc) core.Hooks {
+	trigger := func() {
+		cp.count++
+		if !cp.fired && cp.count == cp.Nth {
+			cp.fired = true
+			self.R.Crash()
+		}
+	}
+	var h core.Hooks
+	switch cp.Point {
+	case BeforeExec:
+		h.BeforeTaskExec = func(_, _ int) { trigger() }
+	case AfterExec:
+		h.AfterTaskExec = func(_, _ int) { trigger() }
+	case MidUpdate:
+		h.AfterArgSend = func(_, _, _ int) { trigger() }
+	}
+	return h
+}
+
+// Schedule is a reproducible set of timed replica crashes.
+type Schedule struct {
+	Crashes []Crash
+}
+
+// Crash is one scheduled failure.
+type Crash struct {
+	Logical, Lane int
+	Time          sim.Time
+}
+
+// Install arms every crash of the schedule on the engine.
+func (s *Schedule) Install(e *sim.Engine, sys *replication.System) {
+	for _, c := range s.Crashes {
+		At(e, sys, c.Logical, c.Lane, c.Time)
+	}
+}
+
+// Exponential draws a crash schedule from an exponential per-replica MTBF
+// over the horizon, never killing both replicas of the same logical rank
+// (the paper's metric assumes the run is not interrupted; a double failure
+// would force a checkpoint restart). The result is deterministic in seed.
+func Exponential(logical, degree int, mtbf, horizon sim.Time, seed int64) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{}
+	killed := make(map[int]int) // logical -> kills so far
+	for r := 0; r < logical; r++ {
+		for l := 0; l < degree; l++ {
+			t := sim.Time(rng.ExpFloat64() * float64(mtbf))
+			if t >= horizon {
+				continue
+			}
+			if killed[r]+1 >= degree {
+				continue // keep at least one replica alive
+			}
+			killed[r]++
+			s.Crashes = append(s.Crashes, Crash{Logical: r, Lane: l, Time: t})
+		}
+	}
+	return s
+}

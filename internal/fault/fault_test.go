@@ -1,0 +1,193 @@
+package fault_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps/hpccg"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/replication"
+	"repro/internal/sim"
+)
+
+func TestPointStrings(t *testing.T) {
+	for _, p := range []fault.Point{fault.BeforeExec, fault.AfterExec, fault.MidUpdate, fault.Point(9)} {
+		if p.String() == "" {
+			t.Fatal("empty point name")
+		}
+	}
+}
+
+func TestExponentialScheduleProperties(t *testing.T) {
+	s := fault.Exponential(64, 2, sim.Second, 10*sim.Second, 42)
+	perLogical := map[int]int{}
+	for _, c := range s.Crashes {
+		if c.Time < 0 || c.Time >= 10*sim.Second {
+			t.Fatalf("crash outside horizon: %+v", c)
+		}
+		perLogical[c.Logical]++
+	}
+	for r, n := range perLogical {
+		if n >= 2 {
+			t.Fatalf("logical %d loses all replicas (%d crashes)", r, n)
+		}
+	}
+	// Deterministic in seed.
+	s2 := fault.Exponential(64, 2, sim.Second, 10*sim.Second, 42)
+	if len(s.Crashes) != len(s2.Crashes) {
+		t.Fatal("schedule not deterministic")
+	}
+	if len(s.Crashes) == 0 {
+		t.Fatal("expected some crashes with MTBF=1s over 10s")
+	}
+}
+
+// TestCrashPlanMatrix drives HPCCG through every §III-B2 protocol point on
+// both lanes and both inout modes and checks the survivors compute the
+// failure-free residual.
+func TestCrashPlanMatrix(t *testing.T) {
+	cfg := hpccg.DefaultConfig()
+	cfg.Nx, cfg.Ny, cfg.Nz = 8, 8, 8
+	cfg.Iters = 6
+
+	// Failure-free reference.
+	var ref float64
+	_, err := experiments.RunProgram(experiments.ClusterConfig{Logical: 2, Mode: experiments.Intra},
+		func(rt core.Runner) {
+			res, err := hpccg.Run(rt, cfg)
+			if err != nil {
+				t.Errorf("ref: %v", err)
+				return
+			}
+			ref = res.Residual
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, point := range []fault.Point{fault.BeforeExec, fault.AfterExec, fault.MidUpdate} {
+		for _, lane := range []int{0, 1} {
+			for _, mode := range []core.InoutMode{core.CopyRestore, core.AtomicApply} {
+				name := point.String() + "/" + mode.String()
+				c := experiments.NewCluster(experiments.ClusterConfig{
+					Logical: 2, Mode: experiments.Intra, SendLog: true,
+				})
+				plan := &fault.CrashPlan{Point: point, Nth: 7}
+				lane := lane
+				c.Sys.Launch("app", func(p *replication.Proc) {
+					opts := core.Options{Mode: mode}
+					if p.Logical == 0 && p.Lane == lane {
+						opts.Hooks = plan.Hooks(p)
+					}
+					rt := core.NewIntra(p, opts)
+					res, err := hpccg.Run(rt, cfg)
+					if err != nil {
+						t.Errorf("%s lane %d: %v", name, lane, err)
+						return
+					}
+					if math.Abs(res.Residual-ref) > 1e-9*ref+1e-15 {
+						t.Errorf("%s lane %d: residual %v != ref %v", name, lane, res.Residual, ref)
+					}
+				})
+				if _, err := c.Run(); err != nil {
+					t.Fatalf("%s lane %d: %v", name, lane, err)
+				}
+			}
+		}
+	}
+}
+
+// TestExponentialFailuresDuringRun injects an MTBF-driven schedule and
+// checks the run completes with correct numerics.
+func TestExponentialFailuresDuringRun(t *testing.T) {
+	cfg := hpccg.DefaultConfig()
+	cfg.Nx, cfg.Ny, cfg.Nz = 8, 8, 8
+	cfg.Iters = 8
+
+	var ref float64
+	if _, err := experiments.RunProgram(experiments.ClusterConfig{Logical: 4, Mode: experiments.Intra},
+		func(rt core.Runner) {
+			res, err := hpccg.Run(rt, cfg)
+			if err == nil {
+				ref = res.Residual
+			}
+		}); err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		c := experiments.NewCluster(experiments.ClusterConfig{
+			Logical: 4, Mode: experiments.Intra, SendLog: true,
+		})
+		sched := fault.Exponential(4, 2, 50*sim.Millisecond, 200*sim.Millisecond, seed)
+		sched.Install(c.E, c.Sys)
+		bad := false
+		c.Launch(func(rt core.Runner) {
+			res, err := hpccg.Run(rt, cfg)
+			if err != nil {
+				t.Errorf("seed %d rank %d: %v", seed, rt.LogicalRank(), err)
+				return
+			}
+			if math.Abs(res.Residual-ref) > 1e-9*ref+1e-15 {
+				bad = true
+			}
+		})
+		if _, err := c.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if bad {
+			t.Fatalf("seed %d: wrong numerics under failures %v", seed, sched.Crashes)
+		}
+	}
+}
+
+// TestDenseCrashSweep slides a single crash across the whole runtime of a
+// short HPCCG execution in fine steps, so failures land inside sections,
+// collectives, and halo exchanges alike.
+func TestDenseCrashSweep(t *testing.T) {
+	cfg := hpccg.DefaultConfig()
+	cfg.Nx, cfg.Ny, cfg.Nz = 8, 8, 8
+	cfg.Iters = 4
+
+	var ref float64
+	var horizon sim.Time
+	if _, err := experiments.RunProgram(experiments.ClusterConfig{Logical: 2, Mode: experiments.Intra},
+		func(rt core.Runner) {
+			res, err := hpccg.Run(rt, cfg)
+			if err != nil {
+				t.Errorf("ref: %v", err)
+				return
+			}
+			ref = res.Residual
+			if rt.Now() > horizon {
+				horizon = rt.Now()
+			}
+		}); err != nil {
+		t.Fatal(err)
+	}
+
+	steps := 40
+	for i := 0; i < steps; i++ {
+		at := horizon * sim.Time(i) / sim.Time(steps)
+		lane := i % 2
+		c := experiments.NewCluster(experiments.ClusterConfig{
+			Logical: 2, Mode: experiments.Intra, SendLog: true,
+		})
+		fault.At(c.E, c.Sys, 1, lane, at)
+		c.Launch(func(rt core.Runner) {
+			res, err := hpccg.Run(rt, cfg)
+			if err != nil {
+				t.Errorf("crash at %v lane %d: rank %d: %v", at, lane, rt.LogicalRank(), err)
+				return
+			}
+			if math.Abs(res.Residual-ref) > 1e-9*ref+1e-15 {
+				t.Errorf("crash at %v lane %d: residual %v != %v", at, lane, res.Residual, ref)
+			}
+		})
+		if _, err := c.Run(); err != nil {
+			t.Fatalf("crash at %v lane %d: %v", at, lane, err)
+		}
+	}
+}

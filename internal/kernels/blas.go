@@ -1,0 +1,105 @@
+// Package kernels implements the numerical kernels of the paper's
+// benchmark applications (HPCCG's waxpby/ddot/sparsemv, the stencil
+// operators of MiniGhost and AMG2013, grid reductions, and the
+// particle-in-cell charge/push kernels of GTC).
+//
+// Every kernel performs the real computation on its arguments and returns
+// a perf.Work describing the memory traffic and floating-point operations
+// it performed, so callers can charge virtual time under the machine
+// model. The byte/flop constants implement the roofline intuition the
+// paper uses to explain intra-parallelization efficiency (§V-C): what
+// matters is the ratio between a kernel's computation and the size of the
+// output it must ship to peer replicas.
+package kernels
+
+import "repro/internal/perf"
+
+// Per-element cost constants (bytes of memory traffic, flops). Bytes
+// assume streaming access with cache reuse of neighbor values.
+const (
+	WaxpbyBytes = 24 // read x, read y, write w
+	WaxpbyFlops = 3
+	DdotBytes   = 16 // read x, read y
+	DdotFlops   = 2
+	AxpyBytes   = 24 // read x, read+write y
+	AxpyFlops   = 2
+	ScaleBytes  = 16
+	ScaleFlops  = 1
+	SumBytes    = 8
+	SumFlops    = 1
+)
+
+// WaxpbyWork returns the cost of a waxpby over n elements.
+func WaxpbyWork(n int) perf.Work {
+	return perf.Work{Bytes: WaxpbyBytes * float64(n), Flops: WaxpbyFlops * float64(n)}
+}
+
+// Waxpby computes w = alpha*x + beta*y (HPCCG's waxpby kernel, Figure 3 of
+// the paper) and returns its cost.
+func Waxpby(alpha float64, x []float64, beta float64, y, w []float64) perf.Work {
+	if alpha == 1.0 {
+		for i := range w {
+			w[i] = x[i] + beta*y[i]
+		}
+	} else if beta == 1.0 {
+		for i := range w {
+			w[i] = alpha*x[i] + y[i]
+		}
+	} else {
+		for i := range w {
+			w[i] = alpha*x[i] + beta*y[i]
+		}
+	}
+	return WaxpbyWork(len(w))
+}
+
+// DdotWork returns the cost of a dot product over n elements.
+func DdotWork(n int) perf.Work {
+	return perf.Work{Bytes: DdotBytes * float64(n), Flops: DdotFlops * float64(n)}
+}
+
+// Ddot computes the dot product of x and y (HPCCG's ddot kernel).
+func Ddot(x, y []float64) (float64, perf.Work) {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s, DdotWork(len(x))
+}
+
+// Axpy computes y += alpha*x and returns its cost.
+func Axpy(alpha float64, x, y []float64) perf.Work {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+	return perf.Work{Bytes: AxpyBytes * float64(len(y)), Flops: AxpyFlops * float64(len(y))}
+}
+
+// Scale computes x *= alpha and returns its cost.
+func Scale(alpha float64, x []float64) perf.Work {
+	for i := range x {
+		x[i] *= alpha
+	}
+	return perf.Work{Bytes: ScaleBytes * float64(len(x)), Flops: ScaleFlops * float64(len(x))}
+}
+
+// SumWork returns the cost of summing n elements.
+func SumWork(n int) perf.Work {
+	return perf.Work{Bytes: SumBytes * float64(n), Flops: SumFlops * float64(n)}
+}
+
+// Sum computes the sum of v (MiniGhost's grid summation kernel).
+func Sum(v []float64) (float64, perf.Work) {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s, SumWork(len(v))
+}
+
+// Fill sets every element of v to x (no cost accounting: setup only).
+func Fill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}

@@ -1,0 +1,154 @@
+package kernels
+
+import "repro/internal/perf"
+
+// Stencil cost constants. Neighbor loads hit cache (three resident
+// planes), so effective traffic is the input read, the output write, and a
+// third-of-a-plane miss stream.
+const (
+	Stencil27Bytes = 24
+	Stencil27Flops = 54 // 27 multiply-adds
+	Stencil7Bytes  = 24
+	Stencil7Flops  = 14 // 7 multiply-adds
+)
+
+// Slab is a 3D block of a z-decomposed structured grid with one halo plane
+// on each z side. The layout is V[(iz+1)*Nx*Ny + iy*Nx + ix] for interior
+// z index iz in [0, Nz); planes z=-1 and z=Nz live at the ends and are
+// filled by halo exchange. x and y boundaries are domain boundaries
+// (Dirichlet: values outside are treated as zero).
+type Slab struct {
+	Nx, Ny, Nz int
+	V          []float64
+}
+
+// NewSlab allocates a zeroed slab.
+func NewSlab(nx, ny, nz int) *Slab {
+	return &Slab{Nx: nx, Ny: ny, Nz: nz, V: make([]float64, nx*ny*(nz+2))}
+}
+
+// Plane returns the storage of interior plane iz in [0, Nz); iz == -1 and
+// iz == Nz address the halo planes.
+func (s *Slab) Plane(iz int) []float64 {
+	p := s.Nx * s.Ny
+	off := (iz + 1) * p
+	return s.V[off : off+p]
+}
+
+// Interior returns all interior values as one slice (without halos).
+// The result aliases the slab's storage only when Nz == 1; callers must
+// treat it as read-only.
+func (s *Slab) Interior() []float64 {
+	p := s.Nx * s.Ny
+	return s.V[p : p+s.Nx*s.Ny*s.Nz]
+}
+
+// at returns the value at (ix, iy, iz) with zero x/y boundaries; iz may
+// address halo planes.
+func (s *Slab) at(ix, iy, iz int) float64 {
+	if ix < 0 || ix >= s.Nx || iy < 0 || iy >= s.Ny {
+		return 0
+	}
+	return s.V[(iz+1)*s.Nx*s.Ny+iy*s.Nx+ix]
+}
+
+// Stencil27Work returns the cost of a 27-point stencil over n elements.
+func Stencil27Work(n int) perf.Work {
+	return perf.Work{Bytes: Stencil27Bytes * float64(n), Flops: Stencil27Flops * float64(n)}
+}
+
+// Stencil27Range applies the 27-point stencil
+//
+//	out = center*in + sum(neighbors)*off
+//
+// to interior planes [z0, z1) (MiniGhost's 27-point kernel and the AMG
+// 27-point operator). Halo planes of `in` must be current.
+func Stencil27Range(in, out *Slab, center, off float64, z0, z1 int) perf.Work {
+	nx, ny := in.Nx, in.Ny
+	for iz := z0; iz < z1; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				var nb float64
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							nb += in.at(ix+dx, iy+dy, iz+dz)
+						}
+					}
+				}
+				out.V[(iz+1)*nx*ny+iy*nx+ix] = center*in.at(ix, iy, iz) + off*nb
+			}
+		}
+	}
+	return Stencil27Work((z1 - z0) * nx * ny)
+}
+
+// Stencil7Work returns the cost of a 7-point stencil over n elements.
+func Stencil7Work(n int) perf.Work {
+	return perf.Work{Bytes: Stencil7Bytes * float64(n), Flops: Stencil7Flops * float64(n)}
+}
+
+// Stencil7Range applies the 7-point stencil out = center*in + off*(6
+// face neighbors) to interior planes [z0, z1) (AMG's 7-point operator).
+func Stencil7Range(in, out *Slab, center, off float64, z0, z1 int) perf.Work {
+	nx, ny := in.Nx, in.Ny
+	for iz := z0; iz < z1; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				nb := in.at(ix-1, iy, iz) + in.at(ix+1, iy, iz) +
+					in.at(ix, iy-1, iz) + in.at(ix, iy+1, iz) +
+					in.at(ix, iy, iz-1) + in.at(ix, iy, iz+1)
+				out.V[(iz+1)*nx*ny+iy*nx+ix] = center*in.at(ix, iy, iz) + off*nb
+			}
+		}
+	}
+	return Stencil7Work((z1 - z0) * nx * ny)
+}
+
+// RestrictWork returns the cost of restricting n fine elements.
+const (
+	restrictBytesPerCoarse = 80 // read 8 fine cells, write 1 coarse
+	restrictFlopsPerCoarse = 8
+	prolongBytesPerFine    = 24 // read coarse (cached), read+write fine
+	prolongFlopsPerFine    = 2
+)
+
+// Restrict coarsens fine into coarse by averaging 2x2x2 cells (the
+// full-weighting restriction of the multigrid hierarchy). Fine dimensions
+// must be exactly double the coarse ones.
+func Restrict(fine, coarse *Slab) perf.Work {
+	for iz := 0; iz < coarse.Nz; iz++ {
+		for iy := 0; iy < coarse.Ny; iy++ {
+			for ix := 0; ix < coarse.Nx; ix++ {
+				var s float64
+				for dz := 0; dz < 2; dz++ {
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							s += fine.at(2*ix+dx, 2*iy+dy, 2*iz+dz)
+						}
+					}
+				}
+				coarse.V[(iz+1)*coarse.Nx*coarse.Ny+iy*coarse.Nx+ix] = s / 8
+			}
+		}
+	}
+	n := coarse.Nx * coarse.Ny * coarse.Nz
+	return perf.Work{Bytes: restrictBytesPerCoarse * float64(n), Flops: restrictFlopsPerCoarse * float64(n)}
+}
+
+// ProlongAdd interpolates coarse into fine by piecewise-constant
+// injection and adds it to fine (the correction step of the V-cycle).
+func ProlongAdd(coarse, fine *Slab) perf.Work {
+	for iz := 0; iz < fine.Nz; iz++ {
+		for iy := 0; iy < fine.Ny; iy++ {
+			for ix := 0; ix < fine.Nx; ix++ {
+				fine.V[(iz+1)*fine.Nx*fine.Ny+iy*fine.Nx+ix] += coarse.at(ix/2, iy/2, iz/2)
+			}
+		}
+	}
+	n := fine.Nx * fine.Ny * fine.Nz
+	return perf.Work{Bytes: prolongBytesPerFine * float64(n), Flops: prolongFlopsPerFine * float64(n)}
+}

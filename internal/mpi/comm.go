@@ -1,0 +1,73 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PeerDeadError reports that a receive cannot complete because the source
+// rank crashed.
+type PeerDeadError struct {
+	Rank int // world rank of the dead peer
+}
+
+func (e *PeerDeadError) Error() string { return fmt.Sprintf("mpi: peer rank %d is dead", e.Rank) }
+
+// IsPeerDead reports whether err is (or wraps) a PeerDeadError.
+func IsPeerDead(err error) bool {
+	var pd *PeerDeadError
+	return errors.As(err, &pd)
+}
+
+// Comm is a communicator: an ordered group of world ranks with a private
+// matching context. Rank arguments to communication calls are positions in
+// the communicator ("comm ranks").
+type Comm struct {
+	id      int
+	w       *World
+	members []int       // comm rank -> world rank
+	pos     map[int]int // world rank -> comm rank
+	rounds  []int       // per-member collective round counter
+}
+
+// newComm builds a communicator over world ranks (callers must pass a slice
+// they will not mutate).
+func (w *World) newComm(members []int) *Comm {
+	w.commSeq++
+	c := &Comm{id: w.commSeq, w: w, members: members, pos: make(map[int]int, len(members))}
+	for i, wr := range members {
+		if _, dup := c.pos[wr]; dup {
+			panic(fmt.Sprintf("mpi: duplicate member %d in communicator", wr))
+		}
+		c.pos[wr] = i
+	}
+	c.rounds = make([]int, len(members))
+	return c
+}
+
+// NewComm creates a communicator over the given world ranks. All members
+// must make collective calls on it in the same order.
+func (w *World) NewComm(members []int) *Comm {
+	return w.newComm(append([]int(nil), members...))
+}
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.members) }
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
+
+// CommRank translates a world rank to a comm rank, or -1 if not a member.
+func (c *Comm) CommRank(worldRank int) int {
+	if p, ok := c.pos[worldRank]; ok {
+		return p
+	}
+	return -1
+}
+
+// Members returns the comm-rank-ordered world ranks (callers must not
+// mutate the result).
+func (c *Comm) Members() []int { return c.members }
+
+// RankIn returns the calling rank's position in c, or -1.
+func (r *Rank) RankIn(c *Comm) int { return c.CommRank(r.st.rank) }

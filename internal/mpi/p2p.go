@@ -1,0 +1,298 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// Rank is the process-facing handle for one MPI rank. It is only valid
+// inside the rank's own program function.
+type Rank struct {
+	st *rankState
+	p  *sim.Proc
+}
+
+// Rank returns the world rank number.
+func (r *Rank) Rank() int { return r.st.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.st.w.ranks) }
+
+// World returns the world communicator.
+func (r *Rank) World() *Comm { return r.st.w.world }
+
+// Node returns the node this rank is placed on.
+func (r *Rank) Node() int { return r.st.node }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.p.Now() }
+
+// Proc returns the underlying simulated process.
+func (r *Rank) Proc() *sim.Proc { return r.p }
+
+// Stats returns a copy of the rank's accounting counters.
+func (r *Rank) Stats() Stats { return r.st.stats }
+
+// Machine returns the world's per-core compute model.
+func (r *Rank) Machine() perf.Machine { return r.st.w.machine }
+
+// Compute charges d of virtual CPU time to this rank.
+func (r *Rank) Compute(d sim.Time) {
+	r.st.stats.Compute += d
+	r.p.Sleep(d)
+}
+
+// ComputeWork charges the virtual time of w under the world's machine model.
+func (r *Rank) ComputeWork(w perf.Work) {
+	r.Compute(r.st.w.machine.Duration(w))
+}
+
+// Crash crash-stops the calling rank (used by fault injection callbacks
+// running inside the rank's program).
+func (r *Rank) Crash() { r.p.Crash() }
+
+// Dead reports whether another rank has crashed.
+func (r *Rank) Dead(rank int) bool { return r.st.w.ranks[rank].dead }
+
+// Request is a handle on a nonblocking operation.
+type Request struct {
+	id     uint64
+	st     *rankState
+	key    matchKey // receive matching key (recv only)
+	isRecv bool
+	fut    *sim.Future
+	msg    *Message
+	err    error
+}
+
+var reqCounter uint64
+
+func newRequest(st *rankState, isRecv bool, key matchKey) *Request {
+	reqCounter++
+	return &Request{id: reqCounter, st: st, isRecv: isRecv, key: key, fut: st.w.e.NewFuture()}
+}
+
+func (rq *Request) complete(msg *Message, err error) {
+	rq.msg = msg
+	rq.err = err
+	rq.fut.Complete(msg, err)
+}
+
+// Done reports whether the operation has completed.
+func (rq *Request) Done() bool { return rq.fut.Done() }
+
+// Msg returns the received message (receives only, after completion).
+func (rq *Request) Msg() *Message { return rq.msg }
+
+// Err returns the completion error, if any.
+func (rq *Request) Err() error { return rq.err }
+
+func sortRequests(reqs []*Request) {
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].id < reqs[j].id })
+}
+
+// envelopeBytes models per-message protocol overhead on the wire, on top
+// of eight bytes per float64 payload element (or the explicit modeled size
+// for IsendSized).
+const envelopeBytes = 64
+
+// Isend posts a nonblocking send of data (which is copied, so the caller
+// may reuse the buffer immediately) to dst on communicator c. meta must be
+// immutable. The request completes when the local NIC finishes
+// transmitting, which is what overlapping update transfers wait on.
+func (r *Rank) Isend(c *Comm, dst, tag int, data []float64, meta any) *Request {
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	return r.IsendOwned(c, dst, tag, buf, meta)
+}
+
+// IsendOwned is Isend without the defensive copy: ownership of data
+// transfers to the runtime. Use when the caller has already cloned.
+func (r *Rank) IsendOwned(c *Comm, dst, tag int, data []float64, meta any) *Request {
+	return r.st.isendOwned(c, dst, tag, data, meta)
+}
+
+// IsendSized is Isend with an explicit modeled payload size in bytes,
+// used by scaled experiment runs where the in-memory arrays are a fraction
+// of the modeled problem (data is still copied; the envelope is added on
+// top of payloadBytes).
+func (r *Rank) IsendSized(c *Comm, dst, tag int, data []float64, meta any, payloadBytes int64) *Request {
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	return r.st.isendSized(c, dst, tag, buf, meta, payloadBytes)
+}
+
+// AsyncSend posts a send on behalf of rank src from engine context (no
+// process blocks on it). Used by the replication layer to replay a send
+// log when a replica crashes. Ownership of data transfers to the runtime.
+func (w *World) AsyncSend(src int, c *Comm, dst, tag int, data []float64, meta any, payloadBytes int64) {
+	w.ranks[src].isendSized(c, dst, tag, data, meta, payloadBytes)
+}
+
+func (st *rankState) isendOwned(c *Comm, dst, tag int, data []float64, meta any) *Request {
+	return st.isendSized(c, dst, tag, data, meta, 8*int64(len(data)))
+}
+
+func (st *rankState) isendSized(c *Comm, dst, tag int, data []float64, meta any, payloadBytes int64) *Request {
+	w := st.w
+	worldDst := c.WorldRank(dst)
+	key := matchKey{src: st.rank, tag: tag, comm: c.id}
+	st.sendSeq[key]++
+	msg := &Message{
+		Src:   st.rank,
+		Dst:   worldDst,
+		Tag:   tag,
+		Data:  data,
+		Meta:  meta,
+		Bytes: envelopeBytes + payloadBytes,
+		seq:   st.sendSeq[key],
+	}
+	req := newRequest(st, false, matchKey{})
+	st.stats.MsgsSent++
+	st.stats.BytesSent += msg.Bytes
+	dstState := w.ranks[worldDst]
+	if dstState.dead {
+		// Crash-stop destination: the message vanishes. Model the local NIC
+		// cost anyway (the sender cannot know).
+		tr := w.net.Send(st.node, dstState.node, msg.Bytes, func() {})
+		w.e.At(tr.TxDone(), func() { req.complete(nil, nil) })
+		return req
+	}
+	dstState.inflight[key]++
+	om := &outMsg{dst: worldDst, key: key}
+	om.tr = w.net.Send(st.node, dstState.node, msg.Bytes, func() {
+		om.delivered = true
+		dstState.inflight[key]--
+		dstState.deliver(key, msg)
+	})
+	st.outgoing = append(st.outgoing, om)
+	st.pruneOutgoing()
+	w.e.At(om.tr.TxDone(), func() { req.complete(nil, nil) })
+	return req
+}
+
+// pruneOutgoing drops completed transfers so the in-flight list stays small.
+func (st *rankState) pruneOutgoing() {
+	if len(st.outgoing) < 64 {
+		return
+	}
+	live := st.outgoing[:0]
+	for _, om := range st.outgoing {
+		if !om.delivered {
+			live = append(live, om)
+		}
+	}
+	st.outgoing = live
+}
+
+// deliver matches an arriving message against pending receives, or queues
+// it as unexpected. Messages for one key are kept in send order.
+func (st *rankState) deliver(key matchKey, msg *Message) {
+	if st.dead {
+		return // arrived after the receiver crashed
+	}
+	if reqs := st.pending[key]; len(reqs) > 0 {
+		rq := reqs[0]
+		st.pending[key] = reqs[1:]
+		rq.complete(msg, nil)
+		return
+	}
+	q := st.unexpected[key]
+	// Insertion sort by send sequence restores FIFO (non-overtaking) order
+	// even if the network reorders same-key messages.
+	i := len(q)
+	for i > 0 && q[i-1].seq > msg.seq {
+		i--
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = msg
+	st.unexpected[key] = q
+}
+
+// Irecv posts a nonblocking receive matching (src, tag) on c.
+func (r *Rank) Irecv(c *Comm, src, tag int) *Request {
+	st := r.st
+	key := matchKey{src: c.WorldRank(src), tag: tag, comm: c.id}
+	req := newRequest(st, true, key)
+	if q := st.unexpected[key]; len(q) > 0 {
+		msg := q[0]
+		st.unexpected[key] = q[1:]
+		req.complete(msg, nil)
+		return req
+	}
+	if st.w.ranks[key.src].dead && st.inflight[key] == 0 {
+		req.complete(nil, &PeerDeadError{Rank: key.src})
+		return req
+	}
+	st.pending[key] = append(st.pending[key], req)
+	return req
+}
+
+func (st *rankState) removePending(rq *Request) {
+	reqs := st.pending[rq.key]
+	for i, q := range reqs {
+		if q == rq {
+			st.pending[rq.key] = append(reqs[:i:i], reqs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Wait blocks until the request completes and returns its error.
+func (r *Rank) Wait(rq *Request) error {
+	t0 := r.p.Now()
+	_, err := rq.fut.Wait(r.p, waitReason(rq))
+	r.st.stats.Blocked += r.p.Now() - t0
+	return err
+}
+
+func waitReason(rq *Request) string {
+	if rq.isRecv {
+		return fmt.Sprintf("recv from %d tag %d", rq.key.src, rq.key.tag)
+	}
+	return "send completion"
+}
+
+// Waitall waits for every request and returns the first error encountered
+// (but always waits for all of them, like MPI_Waitall).
+func (r *Rank) Waitall(reqs []*Request) error {
+	var first error
+	for _, rq := range reqs {
+		if err := r.Wait(rq); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Send is a blocking send: it returns once the local NIC has finished
+// transmitting (buffered send semantics with completion timing).
+func (r *Rank) Send(c *Comm, dst, tag int, data []float64, meta any) error {
+	return r.Wait(r.Isend(c, dst, tag, data, meta))
+}
+
+// Recv blocks until a message matching (src, tag) arrives.
+func (r *Rank) Recv(c *Comm, src, tag int) (*Message, error) {
+	rq := r.Irecv(c, src, tag)
+	if err := r.Wait(rq); err != nil {
+		return nil, err
+	}
+	return rq.msg, nil
+}
+
+// TryRecv returns a queued message matching (src, tag) if one has already
+// arrived; it never blocks.
+func (r *Rank) TryRecv(c *Comm, src, tag int) (*Message, bool) {
+	st := r.st
+	key := matchKey{src: c.WorldRank(src), tag: tag, comm: c.id}
+	if q := st.unexpected[key]; len(q) > 0 {
+		msg := q[0]
+		st.unexpected[key] = q[1:]
+		return msg, true
+	}
+	return nil, false
+}

@@ -1,0 +1,248 @@
+// Package mpi implements an MPI-flavoured message-passing runtime on top of
+// the discrete-event simulator.
+//
+// It provides ranks, communicators, tagged point-to-point messaging
+// (blocking and nonblocking, with Wait/Waitall), and the collectives used
+// by the paper's applications (Barrier, Bcast, Reduce, Allreduce,
+// Allgather). It stands in for Open MPI 1.7 in the original evaluation.
+//
+// Failure semantics are crash-stop: when a rank is killed, messages it
+// fully transmitted are still delivered, in-flight transmissions are lost,
+// and receives that can no longer be satisfied fail with *PeerDeadError —
+// the hook the replication layer builds on.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Stats aggregates per-rank accounting, used for the paper's time
+// breakdowns ("sections" vs "others", update-transfer time).
+type Stats struct {
+	Compute   sim.Time // time charged via Compute/ComputeWork
+	Blocked   sim.Time // time blocked in Recv/Wait/collectives
+	BytesSent int64
+	MsgsSent  int64
+}
+
+// World is the set of simulated MPI processes ("physical processes" in the
+// paper's terminology) plus the interconnect they communicate over.
+type World struct {
+	e         *sim.Engine
+	net       *simnet.Network
+	machine   perf.Machine
+	ranks     []*rankState
+	placement func(rank int) int
+	commSeq   int
+	world     *Comm
+	deathSubs []func(rank int)
+}
+
+type rankState struct {
+	w          *World
+	rank       int
+	node       int
+	proc       *sim.Proc
+	dead       bool
+	unexpected map[matchKey][]*Message
+	pending    map[matchKey][]*Request
+	inflight   map[matchKey]int // messages en route to this rank
+	outgoing   []*outMsg        // transfers this rank has in flight
+	sendSeq    map[matchKey]uint64
+	stats      Stats
+}
+
+type outMsg struct {
+	tr        *simnet.Transfer
+	dst       int
+	key       matchKey
+	delivered bool
+}
+
+type matchKey struct {
+	src  int
+	tag  int
+	comm int
+}
+
+// Message is a delivered point-to-point message.
+type Message struct {
+	Src, Dst int // world ranks
+	Tag      int
+	Data     []float64 // numeric payload (owned by the receiver)
+	Meta     any       // immutable side information (headers etc.)
+	Bytes    int64     // modeled wire size
+	seq      uint64    // per-(src,tag,comm) send sequence, for FIFO order
+}
+
+// NewWorld creates n ranks on the given network using block placement
+// (net.NodeOf) unless placement is non-nil. machine converts perf.Work to
+// virtual compute time.
+func NewWorld(e *sim.Engine, net *simnet.Network, n int, machine perf.Machine, placement func(int) int) *World {
+	if placement == nil {
+		placement = net.NodeOf
+	}
+	w := &World{e: e, net: net, machine: machine, placement: placement}
+	for i := 0; i < n; i++ {
+		node := placement(i)
+		if node < 0 || node >= net.Nodes() {
+			panic(fmt.Sprintf("mpi: rank %d placed on invalid node %d", i, node))
+		}
+		w.ranks = append(w.ranks, &rankState{
+			w:          w,
+			rank:       i,
+			node:       node,
+			unexpected: make(map[matchKey][]*Message),
+			pending:    make(map[matchKey][]*Request),
+			inflight:   make(map[matchKey]int),
+			sendSeq:    make(map[matchKey]uint64),
+		})
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	w.world = w.newComm(members)
+	e.OnKill(w.onProcKilled)
+	return w
+}
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.e }
+
+// Net returns the interconnect.
+func (w *World) Net() *simnet.Network { return w.net }
+
+// Machine returns the per-core compute model.
+func (w *World) Machine() perf.Machine { return w.machine }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// World returns the communicator containing every rank.
+func (w *World) World() *Comm { return w.world }
+
+// NodeOf returns the node a rank is placed on.
+func (w *World) NodeOf(rank int) int { return w.ranks[rank].node }
+
+// Dead reports whether a rank has crashed.
+func (w *World) Dead(rank int) bool { return w.ranks[rank].dead }
+
+// StatsOf returns a copy of the rank's accounting counters.
+func (w *World) StatsOf(rank int) Stats { return w.ranks[rank].stats }
+
+// OnDeath registers fn to be invoked in engine context when a rank dies,
+// after undeliverable receives have been failed.
+func (w *World) OnDeath(fn func(rank int)) { w.deathSubs = append(w.deathSubs, fn) }
+
+// Launch starts the program for the given rank as a simulated process.
+func (w *World) Launch(name string, rank int, fn func(r *Rank)) {
+	st := w.ranks[rank]
+	if st.proc != nil {
+		panic(fmt.Sprintf("mpi: rank %d launched twice", rank))
+	}
+	st.proc = w.e.Spawn(name, func(p *sim.Proc) {
+		fn(&Rank{st: st, p: p})
+	})
+	st.proc.SetUserData(st)
+}
+
+// LaunchAll starts fn on every rank, naming processes "prefix/rank".
+func (w *World) LaunchAll(prefix string, fn func(r *Rank)) {
+	for i := range w.ranks {
+		w.Launch(fmt.Sprintf("%s/%d", prefix, i), i, fn)
+	}
+}
+
+// Kill crash-stops a rank. Must be called from engine context (e.g. a
+// scheduled fault event) or from another process.
+func (w *World) Kill(rank int) {
+	st := w.ranks[rank]
+	if st.dead || st.proc == nil {
+		return
+	}
+	w.e.Kill(st.proc)
+}
+
+// onProcKilled is the engine kill hook: it translates a process crash into
+// MPI-level failure semantics.
+func (w *World) onProcKilled(p *sim.Proc) {
+	st, ok := p.UserData().(*rankState)
+	if !ok || st.w != w || st.dead {
+		return
+	}
+	st.dead = true
+	// Drop in-flight transmissions that had not left the NIC.
+	now := w.e.Now()
+	for _, om := range st.outgoing {
+		if om.delivered {
+			continue
+		}
+		if om.tr.TxDone() > now {
+			om.tr.Cancel()
+			om.delivered = true
+			dst := w.ranks[om.dst]
+			dst.inflight[om.key]--
+			dst.failDoomedRecvs(om.key)
+		}
+	}
+	st.outgoing = nil
+	// Fail receives (on every surviving rank) that name the dead rank as
+	// source and cannot be satisfied by queued or in-flight messages.
+	for _, r := range w.ranks {
+		if r == st || r.dead {
+			continue
+		}
+		r.failRecvsFrom(st.rank)
+	}
+	for _, fn := range w.deathSubs {
+		fn(st.rank)
+	}
+}
+
+// failRecvsFrom fails every pending receive naming src that has no queued
+// or in-flight message to satisfy it. Candidates are gathered per key and
+// then sorted by request id, so the wake-up order is deterministic even
+// though pending is a map.
+func (st *rankState) failRecvsFrom(src int) {
+	var doomed []*Request
+	for key, reqs := range st.pending {
+		if key.src != src {
+			continue
+		}
+		avail := len(st.unexpected[key]) + st.inflight[key]
+		if avail >= len(reqs) {
+			continue
+		}
+		doomed = append(doomed, reqs[avail:]...)
+	}
+	// Deterministic order: sort by request id.
+	sortRequests(doomed)
+	for _, rq := range doomed {
+		st.removePending(rq)
+		rq.complete(nil, &PeerDeadError{Rank: src})
+	}
+}
+
+// failDoomedRecvs re-checks pending receives for key after in-flight
+// accounting changed; used when a transfer from a now-dead source is
+// dropped or delivered.
+func (st *rankState) failDoomedRecvs(key matchKey) {
+	if !st.w.ranks[key.src].dead {
+		return
+	}
+	reqs := st.pending[key]
+	avail := len(st.unexpected[key]) + st.inflight[key]
+	if avail >= len(reqs) {
+		return
+	}
+	doomed := append([]*Request(nil), reqs[avail:]...)
+	for _, rq := range doomed {
+		st.removePending(rq)
+		rq.complete(nil, &PeerDeadError{Rank: key.src})
+	}
+}

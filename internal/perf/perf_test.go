@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestWorkAddScale(t *testing.T) {
+	w := Work{Bytes: 10, Flops: 4}.Add(Work{Bytes: 2, Flops: 1})
+	if w.Bytes != 12 || w.Flops != 5 {
+		t.Fatalf("Add = %v", w)
+	}
+	s := w.Scale(2)
+	if s.Bytes != 24 || s.Flops != 10 {
+		t.Fatalf("Scale = %v", s)
+	}
+	if !(Work{}).IsZero() || w.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	if w.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestDurationRoofline(t *testing.T) {
+	m := Machine{MemBWPerCore: 1e9, FlopsPerCore: 1e9}
+	// Memory-bound: 1e9 bytes at 1 GB/s = 1 s, flops negligible.
+	if d := m.Duration(Work{Bytes: 1e9, Flops: 1}); d != sim.Second {
+		t.Fatalf("mem-bound duration = %v", d)
+	}
+	// Flop-bound.
+	if d := m.Duration(Work{Bytes: 1, Flops: 2e9}); d != 2*sim.Second {
+		t.Fatalf("flop-bound duration = %v", d)
+	}
+}
+
+func TestMemcpyDuration(t *testing.T) {
+	m := Machine{MemBWPerCore: 2e9, FlopsPerCore: 1e9}
+	// 1e9 bytes copied = 2e9 bytes of traffic at 2 GB/s = 1 s.
+	if d := m.MemcpyDuration(1e9); d != sim.Second {
+		t.Fatalf("memcpy duration = %v", d)
+	}
+}
+
+func TestGrid5000Sane(t *testing.T) {
+	if Grid5000.MemBWPerCore <= 0 || Grid5000.FlopsPerCore <= 0 {
+		t.Fatal("profile must be positive")
+	}
+	// waxpby on 1M elements: 24 MB of traffic, 3 Mflop: must be mem-bound.
+	w := Work{Bytes: 24e6, Flops: 3e6}
+	d := Grid5000.Duration(w)
+	if d != Grid5000.Duration(Work{Bytes: 24e6}) {
+		t.Fatalf("waxpby should be memory bound, got %v", d)
+	}
+}
+
+// Property: duration is monotone in both components and Scale(2) never
+// shortens execution.
+func TestDurationMonotoneProperty(t *testing.T) {
+	m := Grid5000
+	prop := func(b, f uint32) bool {
+		w := Work{Bytes: float64(b), Flops: float64(f)}
+		d := m.Duration(w)
+		if m.Duration(w.Add(Work{Bytes: 1e6})) < d {
+			return false
+		}
+		if m.Duration(w.Add(Work{Flops: 1e6})) < d {
+			return false
+		}
+		return m.Duration(w.Scale(2)) >= d
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

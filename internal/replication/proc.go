@@ -1,0 +1,341 @@
+package replication
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Proc is the per-replica handle for one replica of a logical MPI process.
+// Application code written against Proc sees a logical rank space of size
+// Config.Logical; the replication machinery is transparent.
+type Proc struct {
+	s       *System
+	R       *mpi.Rank // underlying physical rank (exposed for lower layers)
+	Logical int
+	Lane    int
+
+	expected  map[chanKey]uint64                  // next seq per (logical src, tag)
+	stash     map[chanKey]map[uint64]*mpi.Message // early messages (defensive)
+	sendSeq   map[chanKey]uint64                  // next seq per (logical dst, tag)
+	log       []logEntry                          // send log for crash coverage
+	collRound int                                 // collective round counter
+}
+
+// chanKey identifies a logical message channel.
+type chanKey struct {
+	peer int // logical peer rank
+	tag  int
+}
+
+type logEntry struct {
+	dst   int // logical destination
+	tag   int
+	seq   uint64
+	data  []float64
+	meta  any
+	bytes int64 // modeled payload size
+}
+
+// hdr is the replication header carried in mpi message metadata.
+type hdr struct {
+	Seq  uint64
+	User any
+}
+
+func newProc(s *System, r *mpi.Rank, logical, lane int) *Proc {
+	return &Proc{
+		s:        s,
+		R:        r,
+		Logical:  logical,
+		Lane:     lane,
+		expected: make(map[chanKey]uint64),
+		stash:    make(map[chanKey]map[uint64]*mpi.Message),
+		sendSeq:  make(map[chanKey]uint64),
+	}
+}
+
+// System returns the replication system.
+func (p *Proc) System() *System { return p.s }
+
+// LogicalSize returns the number of logical ranks.
+func (p *Proc) LogicalSize() int { return p.s.cfg.Logical }
+
+// AliveLanes returns the lanes on which this logical rank has live
+// replicas.
+func (p *Proc) AliveLanes() []int { return p.s.AliveLanes(p.Logical) }
+
+// ReplicaComm returns the communicator over this logical rank's replicas
+// (comm rank == lane).
+func (p *Proc) ReplicaComm() *mpi.Comm { return p.s.ReplicaComm(p.Logical) }
+
+// Send performs a logical send: one physical message per lane this replica
+// covers, to the corresponding replica of dst. data is copied.
+func (p *Proc) Send(dst, tag int, data []float64, meta any) error {
+	return p.SendSized(dst, tag, data, meta, 8*int64(len(data)))
+}
+
+// SendSized is Send with an explicit modeled payload size (for scaled
+// experiment runs).
+func (p *Proc) SendSized(dst, tag int, data []float64, meta any, payloadBytes int64) error {
+	reqs := p.IsendSized(dst, tag, data, meta, payloadBytes)
+	return p.R.Waitall(reqs)
+}
+
+// Isend is the nonblocking variant of Send. The returned requests complete
+// when the local NIC finishes transmitting each lane's copy.
+func (p *Proc) Isend(dst, tag int, data []float64, meta any) []*mpi.Request {
+	return p.IsendSized(dst, tag, data, meta, 8*int64(len(data)))
+}
+
+// IsendSized is Isend with an explicit modeled payload size.
+func (p *Proc) IsendSized(dst, tag int, data []float64, meta any, payloadBytes int64) []*mpi.Request {
+	key := chanKey{peer: dst, tag: tag}
+	p.sendSeq[key]++
+	seq := p.sendSeq[key]
+	h := hdr{Seq: seq, User: meta}
+	if p.s.cfg.SendLog {
+		buf := make([]float64, len(data))
+		copy(buf, data)
+		p.log = append(p.log, logEntry{dst: dst, tag: tag, seq: seq, data: buf, meta: meta, bytes: payloadBytes})
+	}
+	var reqs []*mpi.Request
+	for l := 0; l < p.s.cfg.Degree; l++ {
+		cover, ok := p.s.Cover(p.Logical, l)
+		if !ok || cover != p.Lane {
+			continue // some other replica covers lane l (or the rank is lost)
+		}
+		if !p.s.alive[dst][l] {
+			p.s.deadDrops++
+			continue // the lane-l replica of dst is dead; its cover has its own feed
+		}
+		reqs = append(reqs, p.R.IsendSized(p.s.w.World(), p.s.PhysRank(dst, l), tag, data, h, payloadBytes))
+	}
+	return reqs
+}
+
+// replayTo re-sends this replica's send log toward lane l (after the lane-l
+// replica of this logical rank died). Runs in engine context; duplicates
+// are discarded by receivers via sequence numbers.
+func (p *Proc) replayTo(l int) {
+	for _, ent := range p.log {
+		if !p.s.alive[ent.dst][l] {
+			continue
+		}
+		p.s.replayMsgs++
+		buf := make([]float64, len(ent.data))
+		copy(buf, ent.data)
+		p.s.w.AsyncSend(p.s.PhysRank(p.Logical, p.Lane), p.s.w.World(),
+			p.s.PhysRank(ent.dst, l), ent.tag, buf, hdr{Seq: ent.seq, User: ent.meta}, ent.bytes)
+	}
+}
+
+// Recv performs a logical receive from logical rank src with the given
+// tag. It transparently fails over to the covering replica when the
+// expected sender has crashed, and discards duplicates introduced by
+// coverage replay.
+func (p *Proc) Recv(src, tag int) (*mpi.Message, error) {
+	key := chanKey{peer: src, tag: tag}
+	want := p.expected[key] + 1
+	for {
+		// Serve from the stash first (early arrivals from a previous
+		// failover).
+		if st := p.stash[key]; st != nil {
+			if msg, ok := st[want]; ok {
+				delete(st, want)
+				p.expected[key] = want
+				return msg, nil
+			}
+		}
+		// Drain any message already queued from any replica of src; a
+		// message from a now-dead replica may have been delivered before
+		// the crash.
+		drained := false
+		for l := 0; l < p.s.cfg.Degree; l++ {
+			if msg, ok := p.R.TryRecv(p.s.w.World(), p.s.PhysRank(src, l), tag); ok {
+				if p.accept(key, want, msg) {
+					return msg, nil
+				}
+				drained = true
+				break
+			}
+		}
+		if drained {
+			continue
+		}
+		cover, ok := p.s.Cover(src, p.Lane)
+		if !ok {
+			return nil, &LogicalRankLostError{Rank: src}
+		}
+		msg, err := p.R.Recv(p.s.w.World(), p.s.PhysRank(src, cover), tag)
+		if err != nil {
+			if mpi.IsPeerDead(err) {
+				continue // failover: membership changed, retry with new cover
+			}
+			return nil, err
+		}
+		if p.accept(key, want, msg) {
+			return msg, nil
+		}
+	}
+}
+
+// accept applies sequence bookkeeping to an arrived message. It returns
+// true when msg is the next expected message; duplicates are dropped and
+// early messages stashed.
+func (p *Proc) accept(key chanKey, want uint64, msg *mpi.Message) bool {
+	h, ok := msg.Meta.(hdr)
+	if !ok {
+		panic("replication: message without replication header")
+	}
+	msg.Meta = h.User
+	switch {
+	case h.Seq == want:
+		p.expected[key] = want
+		return true
+	case h.Seq < want:
+		return false // duplicate from coverage replay
+	default:
+		if p.stash[key] == nil {
+			p.stash[key] = make(map[uint64]*mpi.Message)
+		}
+		p.stash[key][h.Seq] = msg
+		return false
+	}
+}
+
+// LogicalRankLostError reports that every replica of a logical rank has
+// crashed; the computation cannot continue without checkpoint restart.
+type LogicalRankLostError struct {
+	Rank int
+}
+
+func (e *LogicalRankLostError) Error() string {
+	return fmt.Sprintf("replication: all replicas of logical rank %d are dead", e.Rank)
+}
+
+// Logical collectives are implemented as message trees over logical ranks
+// using the replication layer's own Send/Recv, so they inherit its fault
+// tolerance: every collective message is mirrored per lane, deduplicated by
+// sequence number, and covered by the twin's send-log replay if a replica
+// crashes mid-collective. Tags live in the negative space so they can never
+// collide with application tags.
+func (p *Proc) collTag(op int) int {
+	p.collRound++
+	return -(op<<24 | p.collRound&0xffffff)
+}
+
+const (
+	opBarrier = iota + 1
+	opBcast
+	opReduce
+	opAllreduce
+)
+
+// Barrier blocks until all logical ranks have entered it (dissemination
+// algorithm).
+func (p *Proc) Barrier() error {
+	tag := p.collTag(opBarrier)
+	n := p.s.cfg.Logical
+	if n == 1 {
+		return nil
+	}
+	me := p.Logical
+	for k := 1; k < n; k <<= 1 {
+		if err := p.Send((me+k)%n, tag, nil, nil); err != nil {
+			return err
+		}
+		if _, err := p.Recv((me-k+n)%n, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts data from logical rank root to all logical ranks
+// (binomial tree). Non-root callers pass a buffer of the right length.
+func (p *Proc) Bcast(root int, data []float64) error {
+	return p.bcastTag(p.collTag(opBcast), root, data)
+}
+
+func (p *Proc) bcastTag(tag, root int, data []float64) error {
+	n := p.s.cfg.Logical
+	if n == 1 {
+		return nil
+	}
+	vrank := (p.Logical - root + n) % n
+	if vrank != 0 {
+		mask := 1
+		for vrank&mask == 0 {
+			mask <<= 1
+		}
+		parent := vrank - mask
+		msg, err := p.Recv((parent+root)%n, tag)
+		if err != nil {
+			return err
+		}
+		copy(data, msg.Data)
+	}
+	mask := 1
+	for vrank&mask == 0 && mask < n {
+		mask <<= 1
+	}
+	for m := mask >> 1; m >= 1; m >>= 1 {
+		if child := vrank + m; child < n {
+			if err := p.Send((child+root)%n, tag, data, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce combines every logical rank's data into root's buffer using op
+// (binomial tree). data is used as the local accumulator on all ranks.
+func (p *Proc) Reduce(root int, op mpi.ReduceOp, data []float64) error {
+	return p.reduceTag(p.collTag(opReduce), root, op, data)
+}
+
+func (p *Proc) reduceTag(tag, root int, op mpi.ReduceOp, data []float64) error {
+	n := p.s.cfg.Logical
+	if n == 1 {
+		return nil
+	}
+	vrank := (p.Logical - root + n) % n
+	for mask := 1; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := vrank - mask
+			return p.Send((parent+root)%n, tag, data, nil)
+		}
+		if child := vrank + mask; child < n {
+			msg, err := p.Recv((child+root)%n, tag)
+			if err != nil {
+				return err
+			}
+			op(data, msg.Data)
+		}
+	}
+	return nil
+}
+
+// Allreduce combines data across all logical ranks and leaves the result
+// in data everywhere (reduce to 0, then broadcast).
+func (p *Proc) Allreduce(op mpi.ReduceOp, data []float64) error {
+	p.collRound++
+	base := -(opAllreduce<<24 | p.collRound&0xffffff)
+	if err := p.reduceTag(base, 0, op, data); err != nil {
+		return err
+	}
+	// The paired broadcast reuses the same round with a distinct opcode
+	// encoding so the two phases cannot cross-match.
+	return p.bcastTag(base-1<<30, 0, data)
+}
+
+// AllreduceScalar is a single-value convenience wrapper.
+func (p *Proc) AllreduceScalar(op mpi.ReduceOp, v float64) (float64, error) {
+	buf := []float64{v}
+	if err := p.Allreduce(op, buf); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired event is
+// a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (ev *Event) Time() Time { return ev.t }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. It owns the virtual clock
+// and the event queue and orchestrates cooperative execution of processes.
+// An Engine must not be shared across OS threads while Run is active; all
+// interaction happens from engine events or from process goroutines, which
+// are mutually exclusive by construction.
+type Engine struct {
+	now       Time
+	queue     eventHeap
+	seq       uint64
+	parkedCh  chan struct{}
+	cur       *Proc
+	procs     []*Proc
+	killHooks []func(*Proc)
+	nEvents   uint64
+}
+
+// New creates an empty simulation engine at virtual time zero.
+func New() *Engine {
+	return &Engine{parkedCh: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events processed so far (for diagnostics).
+func (e *Engine) Events() uint64 { return e.nEvents }
+
+// At schedules fn to run in engine context at virtual time t. Scheduling in
+// the past is clamped to the present. The returned Event can be canceled.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
+
+// OnKill registers a hook invoked (in engine context) whenever a process is
+// crashed via Kill or Crash. Hooks run before the victim's goroutine unwinds
+// observable state further and may schedule events (e.g. to fail pending
+// receives).
+func (e *Engine) OnKill(fn func(*Proc)) { e.killHooks = append(e.killHooks, fn) }
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked.
+type DeadlockError struct {
+	Blocked []string // "name: reason" for every parked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d processes blocked: %s",
+		len(d.Blocked), strings.Join(d.Blocked, "; "))
+}
+
+// Run executes events until the queue is empty. It returns a *DeadlockError
+// if processes remain blocked afterwards, and the first process failure
+// (panic) otherwise, if any.
+func (e *Engine) Run() error {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		e.nEvents++
+		ev.fn()
+	}
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == stateParked {
+			blocked = append(blocked, p.name+": "+p.why)
+		}
+		if p.failure != nil {
+			return fmt.Errorf("sim: process %s failed: %v", p.name, p.failure)
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Blocked: blocked}
+	}
+	return nil
+}
+
+// resume hands control to p and blocks until p parks, exits, or crashes.
+// Must be called from engine context.
+func (e *Engine) resume(p *Proc) {
+	if p.state != stateParked {
+		return // already dead/done; stale wake-up
+	}
+	p.state = stateRunning
+	prev := e.cur
+	e.cur = p
+	p.resumeCh <- struct{}{}
+	<-e.parkedCh
+	e.cur = prev
+}
+
+// Current returns the process currently executing, or nil when in pure
+// engine context.
+func (e *Engine) Current() *Proc { return e.cur }
+
+func (e *Engine) runKillHooks(p *Proc) {
+	for _, h := range e.killHooks {
+		h(p)
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+// Future is a one-shot completion variable. Processes block on Wait until
+// some event (or another process) calls Complete. A Future may be completed
+// at most once; waiters are woken in deterministic order.
+type Future struct {
+	e       *Engine
+	done    bool
+	val     any
+	err     error
+	waiters []*Proc
+	onDone  []func(any, error)
+}
+
+// NewFuture creates an incomplete future on the engine.
+func (e *Engine) NewFuture() *Future { return &Future{e: e} }
+
+// Done reports whether the future has been completed.
+func (f *Future) Done() bool { return f.done }
+
+// Value returns the completion value and error. Valid only once Done.
+func (f *Future) Value() (any, error) { return f.val, f.err }
+
+// Complete resolves the future with (v, err) and wakes all waiters at the
+// current virtual time. Completing twice panics: it always indicates a
+// protocol bug in a layer above.
+func (f *Future) Complete(v any, err error) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.val = v
+	f.err = err
+	for _, w := range f.waiters {
+		w := w
+		f.e.At(f.e.now, func() { f.e.resume(w) })
+	}
+	f.waiters = nil
+	for _, fn := range f.onDone {
+		fn(v, err)
+	}
+	f.onDone = nil
+}
+
+// OnDone registers fn to run (in the completer's context) when the future
+// completes. If already complete, fn runs immediately.
+func (f *Future) OnDone(fn func(any, error)) {
+	if f.done {
+		fn(f.val, f.err)
+		return
+	}
+	f.onDone = append(f.onDone, fn)
+}
+
+// Wait blocks the calling process until the future completes and returns
+// its value and error. The reason string is used in deadlock reports.
+func (f *Future) Wait(p *Proc, reason string) (any, error) {
+	for !f.done {
+		f.waiters = append(f.waiters, p)
+		p.park(reason)
+		// A stale wake-up is impossible for plain futures (each waiter is
+		// woken exactly once, by Complete), but re-checking keeps the loop
+		// robust if a future is shared.
+	}
+	return f.val, f.err
+}

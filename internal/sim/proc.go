@@ -1,0 +1,156 @@
+package sim
+
+import "fmt"
+
+type procState uint8
+
+const (
+	stateParked procState = iota
+	stateRunning
+	stateDone
+	stateCrashed
+)
+
+// errCrashed is the sentinel panic value used to unwind a crashed process's
+// goroutine. It never escapes the package.
+type crashSentinel struct{}
+
+// Proc is a simulated process: a goroutine that runs cooperatively under the
+// engine. At most one process runs at a time. Processes block only through
+// engine primitives (Sleep, Future.Wait), never through real synchronization.
+type Proc struct {
+	e        *Engine
+	id       int
+	name     string
+	resumeCh chan struct{}
+	state    procState
+	killed   bool
+	why      string // reason for the current park, for deadlock reports
+	failure  any    // recovered panic value, if the process failed
+	userData any    // opaque slot for upper layers (e.g. the MPI rank)
+}
+
+// Spawn creates a process named name running fn, scheduled to start at the
+// current virtual time. fn receives the process handle.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		e:        e,
+		id:       len(e.procs),
+		name:     name,
+		resumeCh: make(chan struct{}),
+		state:    stateParked,
+		why:      "not started",
+	}
+	e.procs = append(e.procs, p)
+	go p.run(fn)
+	e.At(e.now, func() { e.resume(p) })
+	return p
+}
+
+func (p *Proc) run(fn func(*Proc)) {
+	<-p.resumeCh
+	defer func() {
+		r := recover()
+		switch {
+		case r == nil:
+			p.state = stateDone
+		case isCrash(r):
+			p.state = stateCrashed
+			p.e.runKillHooks(p)
+		default:
+			p.state = stateDone
+			p.failure = fmt.Errorf("panic: %v", r)
+		}
+		p.e.parkedCh <- struct{}{}
+	}()
+	if p.killed {
+		panic(crashSentinel{})
+	}
+	fn(p)
+}
+
+func isCrash(r any) bool {
+	_, ok := r.(crashSentinel)
+	return ok
+}
+
+// ID returns the process's engine-assigned identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Alive reports whether the process has not crashed or exited.
+func (p *Proc) Alive() bool { return p.state == stateParked || p.state == stateRunning }
+
+// Crashed reports whether the process was crash-stopped.
+func (p *Proc) Crashed() bool { return p.state == stateCrashed || p.killed }
+
+// SetUserData attaches an opaque value to the process (used by upper layers
+// to map a Proc back to its rank state).
+func (p *Proc) SetUserData(v any) { p.userData = v }
+
+// UserData returns the value set by SetUserData.
+func (p *Proc) UserData() any { return p.userData }
+
+// park blocks the calling process until the engine resumes it. Must be
+// called from the process's own goroutine.
+func (p *Proc) park(reason string) {
+	if p.e.cur != p {
+		panic("sim: park called from outside the running process")
+	}
+	p.state = stateParked
+	p.why = reason
+	p.e.parkedCh <- struct{}{}
+	<-p.resumeCh
+	if p.killed {
+		panic(crashSentinel{})
+	}
+}
+
+// Sleep advances the process by d of virtual time. It models computation or
+// idling; other processes run during the sleep.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.After(d, func() { p.e.resume(p) })
+	p.park(fmt.Sprintf("sleeping %v", d))
+}
+
+// Compute is an alias for Sleep that documents intent: the process is
+// charged d of virtual CPU time.
+func (p *Proc) Compute(d Time) { p.Sleep(d) }
+
+// Crash crash-stops the calling process: the goroutine unwinds immediately
+// and the process never runs again. Kill hooks fire.
+func (p *Proc) Crash() {
+	if p.e.cur != p {
+		panic("sim: Crash called from outside the running process")
+	}
+	p.killed = true
+	panic(crashSentinel{})
+}
+
+// Kill crash-stops process p from engine context (e.g. from a scheduled
+// fault-injection event). If p is parked it is woken solely to unwind. If p
+// is the currently running process, Kill is equivalent to Crash.
+func (e *Engine) Kill(p *Proc) {
+	if !p.Alive() || p.killed {
+		return
+	}
+	p.killed = true
+	if e.cur == p {
+		panic(crashSentinel{})
+	}
+	e.resume(p) // wakes park(), which panics with the crash sentinel
+}
+
+// Procs returns all processes ever spawned on the engine.
+func (e *Engine) Procs() []*Proc { return e.procs }

@@ -1,0 +1,147 @@
+// Package simnet models the cluster interconnect: per-node NICs with
+// latency, bandwidth, and serialization of concurrent transfers.
+//
+// The model is LogGP-flavoured with cut-through delivery:
+//
+//	txStart = max(now, sender NIC free)
+//	txDone  = txStart + size/bandwidth          (sender NIC occupied)
+//	rxStart = max(txStart + latency, receiver NIC free)
+//	arrival = rxStart + size/bandwidth          (receiver NIC occupied)
+//
+// NICs are full duplex (independent tx and rx occupancy). Several simulated
+// processes share one node's NIC (CoresPerNode), which is what makes the
+// intra-parallelization update traffic contend exactly as in the paper's
+// testbed (4 MPI ranks per InfiniBand 20G HCA).
+//
+// Same-node messages bypass the NIC and are charged a memory-copy cost.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes the interconnect.
+type Config struct {
+	Latency        sim.Time // NIC-to-NIC wire+stack latency
+	Bandwidth      float64  // bytes/s per NIC, each direction
+	LocalLatency   sim.Time // same-node handoff latency
+	LocalBandwidth float64  // same-node copy bandwidth (bytes/s)
+	CoresPerNode   int      // simulated processes sharing a NIC
+}
+
+// InfiniBand20G approximates the paper's interconnect: InfiniBand 20G
+// (4x DDR). The signaling rate is 16 Gbit/s of payload, but hosts of that
+// era (PCIe gen1/gen2 x8) sustain ~1.4 GB/s of application payload per
+// HCA; end-to-end latency ~4 us; 4 cores share one HCA per node.
+var InfiniBand20G = Config{
+	Latency:        sim.Micros(4),
+	Bandwidth:      1.4e9,
+	LocalLatency:   sim.Micros(0.5),
+	LocalBandwidth: 6.0e9,
+	CoresPerNode:   4,
+}
+
+// Node is one cluster node's NIC state.
+type Node struct {
+	id     int
+	txFree sim.Time
+	rxFree sim.Time
+	txByte int64 // cumulative bytes transmitted (diagnostics)
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.id }
+
+// BytesSent returns the cumulative bytes transmitted by the node NIC.
+func (n *Node) BytesSent() int64 { return n.txByte }
+
+// Transfer is a handle on an in-flight message, used to model message loss
+// when the sender crashes before the NIC finishes transmitting.
+type Transfer struct {
+	ev     *sim.Event
+	txDone sim.Time
+	bytes  int64
+}
+
+// TxDone returns the virtual time at which the sender NIC finishes
+// transmitting (the local send-completion time).
+func (t *Transfer) TxDone() sim.Time { return t.txDone }
+
+// Bytes returns the message size.
+func (t *Transfer) Bytes() int64 { return t.bytes }
+
+// Cancel drops the message: it will never be delivered. Used by the fault
+// layer when the sender crashes mid-transmission.
+func (t *Transfer) Cancel() { t.ev.Cancel() }
+
+// Network is the simulated interconnect.
+type Network struct {
+	e     *sim.Engine
+	cfg   Config
+	nodes []*Node
+}
+
+// New creates a network of n nodes with the given configuration.
+func New(e *sim.Engine, cfg Config, n int) *Network {
+	if cfg.CoresPerNode <= 0 {
+		cfg.CoresPerNode = 1
+	}
+	if cfg.Bandwidth <= 0 || cfg.LocalBandwidth <= 0 {
+		panic("simnet: bandwidth must be positive")
+	}
+	net := &Network{e: e, cfg: cfg, nodes: make([]*Node, n)}
+	for i := range net.nodes {
+		net.nodes[i] = &Node{id: i}
+	}
+	return net
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// Node returns node i.
+func (n *Network) Node(i int) *Node { return n.nodes[i] }
+
+// NodeOf maps a process index (core) to its node under block placement.
+func (n *Network) NodeOf(proc int) int { return proc / n.cfg.CoresPerNode }
+
+// Send schedules delivery of a message of the given size from node `from`
+// to node `to`. deliver runs in engine context at the arrival time. The
+// returned Transfer reports the sender-side completion time and allows the
+// message to be dropped if the sender crashes before TxDone.
+func (n *Network) Send(from, to int, bytes int64, deliver func()) *Transfer {
+	if from < 0 || from >= len(n.nodes) || to < 0 || to >= len(n.nodes) {
+		panic(fmt.Sprintf("simnet: bad endpoint %d->%d (%d nodes)", from, to, len(n.nodes)))
+	}
+	if bytes < 0 {
+		panic("simnet: negative message size")
+	}
+	now := n.e.Now()
+	if from == to {
+		occ := sim.Seconds(float64(bytes) / n.cfg.LocalBandwidth)
+		txDone := now + occ
+		arrival := txDone + n.cfg.LocalLatency
+		return &Transfer{ev: n.e.At(arrival, deliver), txDone: txDone, bytes: bytes}
+	}
+	src, dst := n.nodes[from], n.nodes[to]
+	occ := sim.Seconds(float64(bytes) / n.cfg.Bandwidth)
+	txStart := now
+	if src.txFree > txStart {
+		txStart = src.txFree
+	}
+	txDone := txStart + occ
+	src.txFree = txDone
+	src.txByte += bytes
+	rxStart := txStart + n.cfg.Latency
+	if dst.rxFree > rxStart {
+		rxStart = dst.rxFree
+	}
+	arrival := rxStart + occ
+	dst.rxFree = arrival
+	return &Transfer{ev: n.e.At(arrival, deliver), txDone: txDone, bytes: bytes}
+}
