@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test bench lint sweep figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+lint:
+	$(GO) vet ./...
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:" $$files; exit 1; \
+	fi
+
+sweep:
+	$(GO) run ./cmd/sweep -figures all
+
+figures:
+	$(GO) run ./cmd/intrasim -exp all

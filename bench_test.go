@@ -112,6 +112,73 @@ func BenchmarkCkptModel(b *testing.B) {
 	}
 }
 
+// --- sweep-runner benchmarks ---
+
+// fig6PanelSpecs is the four Figure 6 applications as one sweep grid.
+func fig6PanelSpecs(logical int) []experiments.Spec {
+	return []experiments.Spec{
+		{Name: "amg-pcg", Mode: experiments.Intra, Logical: logical, App: experiments.AMG(experiments.Fig6aConfig())},
+		{Name: "amg-gmres", Mode: experiments.Intra, Logical: logical, App: experiments.AMG(experiments.Fig6bConfig())},
+		{Name: "gtc", Mode: experiments.Intra, Logical: logical, App: experiments.GTC(experiments.Fig6cConfig())},
+		{Name: "minighost", Mode: experiments.Intra, Logical: logical, App: experiments.MiniGhost(experiments.Fig6dConfig())},
+	}
+}
+
+// BenchmarkSweepSerial runs the Figure 6 panel on one worker: the baseline
+// the parallel runner is measured against.
+func BenchmarkSweepSerial(b *testing.B) {
+	specs := fig6PanelSpecs(8)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SweepN(1, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same panel on all cores; the speedup over
+// BenchmarkSweepSerial is the tentpole's win.
+func BenchmarkSweepParallel(b *testing.B) {
+	specs := fig6PanelSpecs(8)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sweep(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var events uint64
+			for _, r := range res {
+				events += r.SimEvents
+			}
+			b.ReportMetric(float64(events), "sim-events")
+		}
+	}
+}
+
+// BenchmarkSweepMemo measures a sweep whose grid is one unique point
+// repeated: everything after the first run must be a memo hit.
+func BenchmarkSweepMemo(b *testing.B) {
+	spec := fig6PanelSpecs(8)[0]
+	specs := make([]experiments.Spec, 16)
+	for i := range specs {
+		specs[i] = spec
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sweep(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits := 0
+		for _, r := range res {
+			if r.Memoized {
+				hits++
+			}
+		}
+		if hits != len(specs)-1 {
+			b.Fatalf("memo hits = %d, want %d", hits, len(specs)-1)
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 // BenchmarkSimEngineEvents measures raw event throughput of the

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +32,9 @@ func main() {
 	tasks := flag.Int("tasks", 8, "tasks per intra-parallel section")
 	modeName := flag.String("mode", "intra", "native | classic | intra")
 	kill := flag.String("kill", "", "crash spec rank:lane@frac (replicated modes only)")
+	jsonOut := flag.Bool("json", false, "emit the run report as JSON")
 	flag.Parse()
+	asJSON = *jsonOut
 
 	var mode experiments.Mode
 	switch *modeName {
@@ -60,9 +63,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Reference runtime, to place the crash fraction.
-	refWall := run(mode, logical, cfg, nil, false)
-
 	var sched *fault.Schedule
 	if *kill != "" {
 		if !mode.Replicated() {
@@ -75,6 +75,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hpccg: bad -kill spec %q: %v\n", *kill, err)
 			os.Exit(2)
 		}
+		// Reference runtime (an extra fault-free simulation), to place the
+		// crash fraction.
+		refWall := run(mode, logical, cfg, nil, false)
 		sched = &fault.Schedule{Crashes: []fault.Crash{{
 			Logical: rank, Lane: lane, Time: sim.Time(float64(refWall) * frac),
 		}}}
@@ -93,14 +96,18 @@ func run(mode experiments.Mode, logical int, cfg hpccg.Config, sched *fault.Sche
 	if sched != nil {
 		sched.Install(cluster.E, cluster.Sys)
 		for _, c := range sched.Crashes {
-			fmt.Printf("arming crash of replica (rank %d, lane %d) at t=%v\n", c.Logical, c.Lane, c.Time)
+			if !asJSON {
+				fmt.Printf("arming crash of replica (rank %d, lane %d) at t=%v\n", c.Logical, c.Lane, c.Time)
+			}
 		}
 	}
 	var res *hpccg.Result
+	rankFailed := false
 	cluster.Launch(func(rt core.Runner) {
 		r, err := hpccg.Run(rt, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rank %d: %v\n", rt.LogicalRank(), err)
+			rankFailed = true
 			return
 		}
 		if rt.LogicalRank() == 0 && res == nil {
@@ -112,7 +119,15 @@ func run(mode experiments.Mode, logical int, cfg hpccg.Config, sched *fault.Sche
 		fmt.Fprintln(os.Stderr, "hpccg:", err)
 		os.Exit(1)
 	}
+	if rankFailed {
+		fmt.Fprintln(os.Stderr, "hpccg: application ranks failed")
+		os.Exit(1)
+	}
 	if !report || res == nil {
+		return wall
+	}
+	if asJSON {
+		reportJSON(mode, cluster.PhysProcs(), logical, cfg, wall, res)
 		return wall
 	}
 	fmt.Printf("mode=%s procs=%d logical=%d grid=%dx%dx%d iters=%d\n",
@@ -131,4 +146,47 @@ func run(mode experiments.Mode, logical int, cfg hpccg.Config, sched *fault.Sche
 	fmt.Printf("sections=%d tasksRun=%d tasksReceived=%d recovered=%d updateBytes=%d\n",
 		st.Sections, st.TasksRun, st.TasksReceived, st.TasksRecovered, st.UpdateBytes)
 	return wall
+}
+
+// asJSON switches the run report to JSON (-json flag).
+var asJSON bool
+
+type jsonReport struct {
+	Mode          string                              `json:"mode"`
+	PhysProcs     int                                 `json:"phys_procs"`
+	Logical       int                                 `json:"logical"`
+	Grid          string                              `json:"grid"`
+	Iters         int                                 `json:"iters"`
+	WallSeconds   float64                             `json:"wall_seconds"`
+	Residual      float64                             `json:"residual"`
+	Kernels       map[string]experiments.KernelResult `json:"kernels"`
+	Sections      int                                 `json:"sections"`
+	TasksRun      int                                 `json:"tasks_run"`
+	TasksReceived int                                 `json:"tasks_received"`
+	TasksRecov    int                                 `json:"tasks_recovered"`
+	UpdateBytes   int64                               `json:"update_bytes"`
+}
+
+func reportJSON(mode experiments.Mode, phys, logical int, cfg hpccg.Config, wall sim.Time, res *hpccg.Result) {
+	rep := jsonReport{
+		Mode:          mode.String(),
+		PhysProcs:     phys,
+		Logical:       logical,
+		Grid:          fmt.Sprintf("%dx%dx%d", cfg.Nx, cfg.Ny, cfg.Nz),
+		Iters:         res.Iters,
+		WallSeconds:   wall.Seconds(),
+		Residual:      res.Residual,
+		Kernels:       experiments.KernelResults(res.Kernels),
+		Sections:      res.Stats.Sections,
+		TasksRun:      res.Stats.TasksRun,
+		TasksReceived: res.Stats.TasksReceived,
+		TasksRecov:    res.Stats.TasksRecovered,
+		UpdateBytes:   res.Stats.UpdateBytes,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "hpccg:", err)
+		os.Exit(1)
+	}
 }

@@ -5,11 +5,13 @@
 //
 //	intrasim -exp fig5a          # one experiment
 //	intrasim -exp all            # everything (the full evaluation)
+//	intrasim -exp all -json      # the same, as a JSON array of tables
 //	intrasim -list               # show available experiments
 //	intrasim -exp fig5a -procs 64   # smaller cluster for quick runs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,82 +20,43 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5a, fig5b, fig6a, fig6b, fig6c, fig6d, ckpt, granularity, inout, all)")
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	procs := flag.Int("procs", 0, "override physical process count (0 = paper value)")
 	iters := flag.Int("iters", 0, "override solver iterations/steps (0 = default)")
+	jsonOut := flag.Bool("json", false, "emit a JSON array of tables instead of text")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
 	if *list {
-		fmt.Println(`fig5a        HPCCG kernels (waxpby/ddot/sparsemv), 512 physical processes
-fig5b        HPCCG weak scaling, 128/256/512 physical processes
-fig6a        AMG, 27-point stencil, PCG
-fig6b        AMG, 7-point stencil, GMRES
-fig6c        GTC particle-in-cell
-fig6d        MiniGhost 27-point stencil
-ckpt         checkpoint/restart vs replication model (Section II)
-granularity  ablation: tasks per section (Section V-B discussion)
-inout        ablation: copy-restore vs atomic update application (Section III-B2)
-degree       extension: replication degree 1/2/3 on a constant problem
-all          everything above`)
-		return
-	}
-
-	run := func(id string) error {
-		t, err := runExperiment(id, *procs, *iters)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+		for _, id := range experiments.FigureIDs {
+			fmt.Printf("%-12s %s\n", id, experiments.FigureDescriptions[id])
 		}
-		fmt.Println(t.String())
-		return nil
+		fmt.Printf("%-12s everything above\n", "all")
+		return
 	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d", "ckpt", "granularity", "inout", "degree"}
+		ids = experiments.FigureIDs
 	}
+	var tables []*experiments.Table
 	for _, id := range ids {
-		if err := run(id); err != nil {
+		t, err := experiments.RunFigure(id, *procs, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "intrasim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tables = append(tables, t)
+		if !*jsonOut {
+			fmt.Println(t.String())
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
 			fmt.Fprintln(os.Stderr, "intrasim:", err)
 			os.Exit(1)
 		}
-	}
-}
-
-func orDefault(v, def int) int {
-	if v > 0 {
-		return v
-	}
-	return def
-}
-
-func runExperiment(id string, procs, iters int) (*experiments.Table, error) {
-	switch id {
-	case "fig5a":
-		return experiments.Fig5a(orDefault(procs, 512), orDefault(iters, 10))
-	case "fig5b":
-		counts := []int{128, 256, 512}
-		if procs > 0 {
-			counts = []int{procs}
-		}
-		return experiments.Fig5b(counts, orDefault(iters, 10))
-	case "fig6a":
-		return experiments.Fig6a(orDefault(procs, 252))
-	case "fig6b":
-		return experiments.Fig6b(orDefault(procs, 252))
-	case "fig6c":
-		return experiments.Fig6c(orDefault(procs, 256))
-	case "fig6d":
-		return experiments.Fig6d(orDefault(procs, 256))
-	case "ckpt":
-		return experiments.CkptModelTable(), nil
-	case "granularity":
-		return experiments.AblationTaskGranularity(orDefault(procs, 64))
-	case "inout":
-		return experiments.AblationInoutMode(orDefault(procs, 64))
-	case "degree":
-		return experiments.AblationDegree(orDefault(procs, 32))
-	default:
-		return nil, fmt.Errorf("unknown experiment %q (try -list)", id)
 	}
 }

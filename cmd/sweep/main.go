@@ -1,0 +1,326 @@
+// Command sweep fans experiment grids out across all available cores, one
+// sim.Engine per worker, and reports results as aligned tables or JSON.
+//
+// Two front ends share the runner:
+//
+// Figure mode regenerates the paper's evaluation in parallel:
+//
+//	sweep -figures all
+//	sweep -figures fig5a,fig6c -json
+//
+// Grid mode explores arbitrary scenario grids beyond the paper's fixed
+// figures — any cross product of application, mode, physical process
+// count, replication degree, interconnect and machine model:
+//
+//	sweep -app hpccg -modes native,classic,intra -procs 32,64,128
+//	sweep -app gtc -modes intra -procs 64 -degrees 2,3 -net eth10g -json
+//
+// Identical points inside one sweep are simulated once (content-keyed
+// memo); results keep the grid order regardless of the worker count, so
+// output is byte-identical to a -workers 1 run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/perf"
+	"repro/internal/simnet"
+)
+
+func main() {
+	figures := flag.String("figures", "", "comma-separated figure ids, or 'all' (figure mode)")
+	app := flag.String("app", "", "application grid: hpccg | amg | gtc | minighost (grid mode)")
+	modesFlag := flag.String("modes", "native,classic,intra", "grid: comma-separated modes")
+	procsFlag := flag.String("procs", "64", "grid: comma-separated process counts (physical budget for hpccg, logical ranks for amg/gtc/minighost); figure mode: single override")
+	degreesFlag := flag.String("degrees", "2", "grid: comma-separated replication degrees")
+	iters := flag.Int("iters", 0, "override solver iterations/steps (0 = default)")
+	tasks := flag.Int("tasks", 0, "grid: override tasks per section (0 = default)")
+	netName := flag.String("net", "ib20g", "grid: interconnect model ("+nameList(simnet.Nets)+")")
+	machineName := flag.String("machine", "grid5000", "grid: machine model ("+nameList(perf.Machines)+")")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
+	list := flag.Bool("list", false, "list figure ids and exit")
+	flag.Parse()
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if *workers > 0 {
+		// The sweep pool sizes itself from GOMAXPROCS, so bounding it here
+		// covers figure mode (whose sweeps run inside RunFigure) too.
+		runtime.GOMAXPROCS(*workers)
+	}
+
+	if *list {
+		for _, id := range experiments.FigureIDs {
+			fmt.Printf("%-12s %s\n", id, experiments.FigureDescriptions[id])
+		}
+		return
+	}
+
+	switch {
+	case *figures != "" && *app != "":
+		fail("use either -figures or -app, not both")
+	case *figures != "":
+		for _, gridOnly := range []string{"modes", "degrees", "tasks", "net", "machine"} {
+			if setFlags[gridOnly] {
+				fail("-%s only applies to grid mode (-app); figures run on their paper platform", gridOnly)
+			}
+		}
+		procsOverride := ""
+		if setFlags["procs"] {
+			procsOverride = *procsFlag
+		}
+		runFigures(*figures, procsOverride, *iters, *jsonOut)
+	case *app != "":
+		runGrid(*app, *modesFlag, *procsFlag, *degreesFlag, *iters, *tasks,
+			*netName, *machineName, *workers, *jsonOut)
+	default:
+		fail("nothing to do: pass -figures or -app (see -h)")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func nameList[V any](m map[string]V) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " | ")
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fail("bad integer list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseModes(s string) []experiments.Mode {
+	var out []experiments.Mode
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "native":
+			out = append(out, experiments.Native)
+		case "classic":
+			out = append(out, experiments.Classic)
+		case "intra":
+			out = append(out, experiments.Intra)
+		default:
+			fail("unknown mode %q (native | classic | intra)", f)
+		}
+	}
+	return out
+}
+
+// runFigures regenerates the selected paper figures (each internally a
+// parallel sweep) and prints them as text or one JSON array.
+func runFigures(sel, procsFlag string, iters int, jsonOut bool) {
+	ids := strings.Split(sel, ",")
+	if sel == "all" {
+		ids = experiments.FigureIDs
+	}
+	procs := 0
+	if procsFlag != "" {
+		// A single explicit -procs overrides the paper scale, as in intrasim.
+		vals := parseInts(procsFlag)
+		if len(vals) != 1 {
+			fail("figure mode takes a single -procs value")
+		}
+		procs = vals[0]
+	}
+	var tables []*experiments.Table
+	for _, id := range ids {
+		t, err := experiments.RunFigure(strings.TrimSpace(id), procs, iters)
+		if err != nil {
+			fail("%s: %v", id, err)
+		}
+		tables = append(tables, t)
+	}
+	if jsonOut {
+		emitJSON(tables)
+		return
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+}
+
+// appFor binds the grid application to its paper configuration, with the
+// per-logical problem sizing each app's figure uses. For HPCCG (weak
+// scaling) the per-rank problem grows with the replication degree, so the
+// total logical work stays constant on an equal physical budget.
+func appFor(app string, mode experiments.Mode, degree, iters, tasks int) experiments.App {
+	switch app {
+	case "hpccg":
+		if iters <= 0 {
+			iters = 10
+		}
+		cfg := experiments.HPCCGPaperConfig(experiments.Native, iters, false)
+		if mode.Replicated() {
+			cfg.Nz *= degree
+		}
+		if tasks > 0 {
+			cfg.Tasks = tasks
+		}
+		return experiments.HPCCG(cfg)
+	case "amg":
+		cfg := experiments.Fig6aConfig()
+		if iters > 0 {
+			cfg.Iters = iters
+		}
+		if tasks > 0 {
+			cfg.Tasks = tasks
+		}
+		return experiments.AMG(cfg)
+	case "gtc":
+		cfg := experiments.Fig6cConfig()
+		if iters > 0 {
+			cfg.Steps = iters
+		}
+		if tasks > 0 {
+			cfg.Zones = tasks
+		}
+		return experiments.GTC(cfg)
+	case "minighost":
+		cfg := experiments.Fig6dConfig()
+		if iters > 0 {
+			cfg.Steps = iters
+		}
+		if tasks > 0 {
+			cfg.Tasks = tasks
+		}
+		return experiments.MiniGhost(cfg)
+	default:
+		fail("unknown app %q (hpccg | amg | gtc | minighost)", app)
+		return experiments.App{}
+	}
+}
+
+// runGrid builds the cross product of the grid flags, sweeps it, and
+// reports one row per point with efficiency against the native run at the
+// same physical budget where the grid contains one.
+func runGrid(app, modesFlag, procsFlag, degreesFlag string, iters, tasks int,
+	netName, machineName string, workers int, jsonOut bool) {
+	net, ok := simnet.Nets[netName]
+	if !ok {
+		fail("unknown net %q (%s)", netName, nameList(simnet.Nets))
+	}
+	machine, ok := perf.Machines[machineName]
+	if !ok {
+		fail("unknown machine %q (%s)", machineName, nameList(perf.Machines))
+	}
+	modes := parseModes(modesFlag)
+	procs := parseInts(procsFlag)
+	degrees := parseInts(degreesFlag)
+
+	// Two comparison protocols, matching the paper's figures. HPCCG weak-
+	// scales (Fig 5): -procs is the physical budget, replicated modes run
+	// p/d logical ranks on a doubled per-rank problem, so total work is
+	// constant at equal resources. The fixed-size apps (Fig 6): -procs is
+	// the logical rank count, replicated modes take p*d physical procs.
+	weakScaling := app == "hpccg"
+
+	var specs []experiments.Spec
+	var groupOf []int // the -procs value each spec belongs to
+	for _, p := range procs {
+		for _, mode := range modes {
+			for _, d := range degrees {
+				if mode == experiments.Native && d != degrees[0] {
+					continue // native has no replicas; one spec per p
+				}
+				logical := p
+				name := fmt.Sprintf("%s/%s/p%d", app, mode, p)
+				if mode.Replicated() {
+					if weakScaling {
+						if p%d != 0 {
+							fail("-procs %d is not divisible by degree %d", p, d)
+						}
+						logical = p / d
+					}
+					name = fmt.Sprintf("%s/d%d", name, d)
+				}
+				if logical < 1 {
+					fail("%d processes cannot host degree %d replication", p, d)
+				}
+				specs = append(specs, experiments.Spec{
+					Name: name, Mode: mode, Logical: logical, Degree: d,
+					Net: net, Machine: machine,
+					App: appFor(app, mode, d, iters, tasks),
+				})
+				groupOf = append(groupOf, p)
+			}
+		}
+	}
+
+	results, err := experiments.SweepN(workers, specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	// Native baseline per -procs group, for the efficiency column.
+	baseline := map[int]*experiments.Measure{}
+	for i, r := range results {
+		if specs[i].Mode == experiments.Native {
+			baseline[groupOf[i]] = r.Measure
+		}
+	}
+
+	if jsonOut {
+		emitJSON(struct {
+			Net     string               `json:"net"`
+			Machine string               `json:"machine"`
+			Results []experiments.Result `json:"results"`
+		}{netName, machineName, results})
+		return
+	}
+	t := &experiments.Table{
+		ID:    "sweep",
+		Title: fmt.Sprintf("%s on %s / %s", app, netName, machineName),
+		Header: []string{"point", "mode", "logical", "phys", "time (s)",
+			"upd wait (s)", "efficiency", "memo"},
+	}
+	for i, r := range results {
+		eff := "-"
+		if native := baseline[groupOf[i]]; native != nil {
+			eff = fmt.Sprintf("%.2f", experiments.Efficiency(native, r.Measure))
+		}
+		memo := ""
+		if r.Memoized {
+			memo = "hit"
+		}
+		t.AddRow(r.Name, r.Mode, fmt.Sprintf("%d", r.Logical),
+			fmt.Sprintf("%d", r.PhysProcs),
+			fmt.Sprintf("%.3f", r.AppSeconds),
+			fmt.Sprintf("%.3f", r.UpdateWaitSeconds),
+			eff, memo)
+	}
+	t.Note("efficiency is resource-normalized vs the native run of the same point; '-' when the grid has no native")
+	fmt.Println(t.String())
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

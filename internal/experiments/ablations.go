@@ -3,62 +3,41 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/apps/apputil"
-	"repro/internal/apps/gtc"
 	"repro/internal/apps/hpccg"
 	"repro/internal/core"
-	"repro/internal/sim"
 )
-
-// runModeOpts is runMode with explicit intra-engine options.
-func runModeOpts(mode Mode, logical int, opts core.Options, main appMain) (*Measure, error) {
-	c := NewCluster(ClusterConfig{Logical: logical, Mode: mode, IntraOpts: opts})
-	meas := &Measure{Mode: mode, Kernels: map[string]*apputil.KernelTime{}}
-	var firstErr error
-	c.Launch(func(rt core.Runner) {
-		total, kernels, st, err := main(rt)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
-		meas.add(total, kernels, st)
-	})
-	wall, err := c.Run()
-	if err != nil {
-		return nil, err
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	meas.finish(wall, c.PhysProcs())
-	return meas, nil
-}
 
 // AblationTaskGranularity sweeps the number of tasks per section on HPCCG
 // (§V-B: 8 tasks per section is the paper's default; fewer tasks reduce
-// transfer/compute overlap, more tasks add synchronization overhead).
+// transfer/compute overlap, more tasks add synchronization overhead). The
+// native baseline and every granularity run through one parallel sweep.
 func AblationTaskGranularity(physProcs int) (*Table, error) {
 	iters := 10
-	native, err := runMode(Native, physProcs, hpccgMain(hpccgPaperConfig(Native, iters, false)))
+	taskCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	specs := []Spec{{Name: "granularity/native", Mode: Native, Logical: physProcs,
+		App: HPCCG(HPCCGPaperConfig(Native, iters, false))}}
+	for _, tasks := range taskCounts {
+		cfg := HPCCGPaperConfig(Intra, iters, false)
+		cfg.Tasks = tasks
+		specs = append(specs, Spec{
+			Name: fmt.Sprintf("granularity/%d", tasks), Mode: Intra, Logical: physProcs / 2,
+			App: HPCCG(cfg),
+		})
+	}
+	ms, err := sweepMeasures(specs...)
 	if err != nil {
 		return nil, err
 	}
+	native := ms[0]
 	t := &Table{
 		ID:     "granularity",
 		Title:  fmt.Sprintf("Ablation: tasks per section (HPCCG, %d physical processes)", physProcs),
 		Header: []string{"tasks/section", "intra time (s)", "efficiency", "update wait (s)"},
 	}
-	for _, tasks := range []int{1, 2, 4, 8, 16, 32, 64} {
-		cfg := hpccgPaperConfig(Intra, iters, false)
-		cfg.Tasks = tasks
-		m, err := runMode(Intra, physProcs/2, hpccgMain(cfg))
-		if err != nil {
-			return nil, err
-		}
+	for i, tasks := range taskCounts {
+		m := ms[i+1]
 		t.AddRow(fmt.Sprintf("%d", tasks), secs(m.AppTotal),
-			fmt.Sprintf("%.3f", efficiency(native, m)),
+			fmt.Sprintf("%.3f", Efficiency(native, m)),
 			secs(m.Stats.UpdateWait))
 	}
 	t.Note("paper's default is 8 tasks/section (4 per replica)")
@@ -69,24 +48,26 @@ func AblationTaskGranularity(physProcs int) (*Table, error) {
 // hazard — copy-on-receive vs atomic update application — on GTC, the
 // application with inout task arguments (§III-B2 claims similar cost).
 func AblationInoutMode(physProcs int) (*Table, error) {
-	cfg := Fig6cConfig()
-	main := func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
-		res, err := gtc.Run(rt, cfg)
-		if err != nil {
-			return 0, nil, core.Stats{}, err
-		}
-		return res.Total, res.Kernels, res.Stats, nil
+	app := GTC(Fig6cConfig())
+	modes := []core.InoutMode{core.CopyRestore, core.AtomicApply}
+	var specs []Spec
+	for _, mode := range modes {
+		specs = append(specs, Spec{
+			Name: "inout/" + mode.String(), Mode: Intra, Logical: physProcs / 2,
+			Opts: core.Options{Mode: mode}, App: app,
+		})
+	}
+	ms, err := sweepMeasures(specs...)
+	if err != nil {
+		return nil, err
 	}
 	t := &Table{
 		ID:     "inout",
 		Title:  fmt.Sprintf("Ablation: inout protection mode (GTC, %d logical processes)", physProcs/2),
 		Header: []string{"mode", "time (s)", "copy overhead (s)", "copy/section"},
 	}
-	for _, mode := range []core.InoutMode{core.CopyRestore, core.AtomicApply} {
-		m, err := runModeOpts(Intra, physProcs/2, core.Options{Mode: mode}, main)
-		if err != nil {
-			return nil, err
-		}
+	for i, mode := range modes {
+		m := ms[i]
 		frac := float64(m.Stats.CopyTime) / float64(m.Stats.SectionTime)
 		t.AddRow(mode.String(), secs(m.AppTotal), secs(m.Stats.CopyTime),
 			fmt.Sprintf("%.1f%%", 100*frac))
@@ -108,41 +89,29 @@ func AblationDegree(logical int) (*Table, error) {
 		Scale: 512, PlaneScale: 64,
 		IntraDdot: true, IntraSparsemv: true,
 	}
-	main := hpccgMain(cfg)
-	native, err := runMode(Native, logical, main)
+	app := HPCCG(cfg)
+	degrees := []int{2, 3}
+	specs := []Spec{{Name: "degree/native", Mode: Native, Logical: logical, App: app}}
+	for _, d := range degrees {
+		specs = append(specs, Spec{
+			Name: fmt.Sprintf("degree/%d", d), Mode: Intra, Logical: logical, Degree: d, App: app,
+		})
+	}
+	ms, err := sweepMeasures(specs...)
 	if err != nil {
 		return nil, err
 	}
+	native := ms[0]
 	t := &Table{
 		ID:     "degree",
 		Title:  fmt.Sprintf("Extension: replication degree (HPCCG, %d logical processes, constant problem)", logical),
 		Header: []string{"degree", "phys procs", "time (s)", "efficiency"},
 	}
 	t.AddRow("1 (native)", fmt.Sprintf("%d", native.PhysProcs), secs(native.AppTotal), "1.00")
-	for _, d := range []int{2, 3} {
-		c := NewCluster(ClusterConfig{Logical: logical, Mode: Intra, Degree: d})
-		m := &Measure{Mode: Intra, Kernels: map[string]*apputil.KernelTime{}}
-		var firstErr error
-		c.Launch(func(rt core.Runner) {
-			total, kernels, st, err := main(rt)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			m.add(total, kernels, st)
-		})
-		wall, err := c.Run()
-		if err != nil {
-			return nil, err
-		}
-		if firstErr != nil {
-			return nil, firstErr
-		}
-		m.finish(wall, c.PhysProcs())
+	for i, d := range degrees {
+		m := ms[i+1]
 		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", m.PhysProcs),
-			secs(m.AppTotal), fmt.Sprintf("%.2f", efficiency(native, m)))
+			secs(m.AppTotal), fmt.Sprintf("%.2f", Efficiency(native, m)))
 	}
 	t.Note("degree 2 tolerates any single failure per logical rank; degree 3 buys little speedup for 1.5x the resources (§II)")
 	return t, nil

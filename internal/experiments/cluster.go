@@ -71,8 +71,14 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Degree == 0 {
 		cfg.Degree = 2
 	}
+	// Net and Machine default independently, so a config may override just
+	// one of them (e.g. the paper's network on a modern machine model).
+	defNet, defMachine := DefaultPlatform()
 	if cfg.Net.Bandwidth == 0 {
-		cfg.Net, cfg.Machine = DefaultPlatform()
+		cfg.Net = defNet
+	}
+	if cfg.Machine.FlopsPerCore == 0 {
+		cfg.Machine = defMachine
 	}
 	phys := cfg.Logical
 	if cfg.Mode.Replicated() {

@@ -47,11 +47,11 @@ func TestTableRendering(t *testing.T) {
 func TestEfficiencyMath(t *testing.T) {
 	native := &Measure{AppTotal: 100, PhysProcs: 256}
 	same := &Measure{AppTotal: 100, PhysProcs: 512}
-	if e := efficiency(native, same); e != 0.5 {
+	if e := Efficiency(native, same); e != 0.5 {
 		t.Fatalf("eff = %v, want 0.5", e)
 	}
 	faster := &Measure{AppTotal: 50, PhysProcs: 512}
-	if e := efficiency(native, faster); e != 1.0 {
+	if e := Efficiency(native, faster); e != 1.0 {
 		t.Fatalf("eff = %v, want 1.0", e)
 	}
 }

@@ -19,9 +19,9 @@ import (
 // real time while preserving time ratios.
 const SizeDivisor = 8
 
-// hpccgPaperConfig returns the paper's HPCCG setup (§V-C): per-logical
+// HPCCGPaperConfig returns the paper's HPCCG setup (§V-C): per-logical
 // problem 128^3 in native runs, doubled (z-extent 256) under replication.
-func hpccgPaperConfig(mode Mode, iters int, intraWaxpby bool) hpccg.Config {
+func HPCCGPaperConfig(mode Mode, iters int, intraWaxpby bool) hpccg.Config {
 	k := float64(SizeDivisor)
 	cfg := hpccg.Config{
 		Nx: 128 / SizeDivisor, Ny: 128 / SizeDivisor, Nz: 128 / SizeDivisor,
@@ -45,22 +45,59 @@ func hpccgMain(cfg hpccg.Config) appMain {
 	}
 }
 
+func amgMain(cfg amg.Config) appMain {
+	return func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+		res, err := amg.Run(rt, cfg)
+		if err != nil {
+			return 0, nil, core.Stats{}, err
+		}
+		return res.Total, res.Kernels, res.Stats, nil
+	}
+}
+
+func gtcMain(cfg gtc.Config) appMain {
+	return func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+		res, err := gtc.Run(rt, cfg)
+		if err != nil {
+			return 0, nil, core.Stats{}, err
+		}
+		return res.Total, res.Kernels, res.Stats, nil
+	}
+}
+
+func minighostMain(cfg minighost.Config) appMain {
+	return func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+		res, err := minighost.Run(rt, cfg)
+		if err != nil {
+			return 0, nil, core.Stats{}, err
+		}
+		return res.Total, res.Kernels, res.Stats, nil
+	}
+}
+
+// hpccgTriple is the three-mode protocol of Figure 5: native on the full
+// physical-process budget, both replicated modes on half the logical ranks
+// (same physical budget, degree 2).
+func hpccgTriple(tag string, physProcs, iters int, intraWaxpby bool) []Spec {
+	return []Spec{
+		{Name: tag + "/native", Mode: Native, Logical: physProcs,
+			App: HPCCG(HPCCGPaperConfig(Native, iters, intraWaxpby))},
+		{Name: tag + "/classic", Mode: Classic, Logical: physProcs / 2,
+			App: HPCCG(HPCCGPaperConfig(Classic, iters, intraWaxpby))},
+		{Name: tag + "/intra", Mode: Intra, Logical: physProcs / 2,
+			App: HPCCG(HPCCGPaperConfig(Intra, iters, intraWaxpby))},
+	}
+}
+
 // Fig5a regenerates Figure 5a: normalized per-kernel execution time and
 // efficiency for waxpby, ddot and sparsemv on 512 physical processes, with
 // the time spent on non-overlapped update transfers.
 func Fig5a(physProcs, iters int) (*Table, error) {
-	native, err := runMode(Native, physProcs, hpccgMain(hpccgPaperConfig(Native, iters, true)))
+	ms, err := sweepMeasures(hpccgTriple("fig5a", physProcs, iters, true)...)
 	if err != nil {
 		return nil, err
 	}
-	classic, err := runMode(Classic, physProcs/2, hpccgMain(hpccgPaperConfig(Classic, iters, true)))
-	if err != nil {
-		return nil, err
-	}
-	intra, err := runMode(Intra, physProcs/2, hpccgMain(hpccgPaperConfig(Intra, iters, true)))
-	if err != nil {
-		return nil, err
-	}
+	native, classic, intra := ms[0], ms[1], ms[2]
 	t := &Table{
 		ID:     "fig5a",
 		Title:  fmt.Sprintf("HPCCG kernels, %d physical processes (normalized time; efficiency)", physProcs),
@@ -84,29 +121,27 @@ func Fig5a(physProcs, iters int) (*Table, error) {
 
 // Fig5b regenerates Figure 5b: HPCCG total execution time under weak
 // scaling, with intra-parallelization applied to ddot and sparsemv only.
+// All proc-count/mode combinations run through one sweep.
 func Fig5b(procCounts []int, iters int) (*Table, error) {
+	var specs []Spec
+	for _, p := range procCounts {
+		specs = append(specs, hpccgTriple(fmt.Sprintf("fig5b/%d", p), p, iters, false)...)
+	}
+	ms, err := sweepMeasures(specs...)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "fig5b",
 		Title:  "HPCCG weak scaling (total execution time in seconds; efficiency)",
 		Header: []string{"phys procs", "OpenMPI", "SDR-MPI", "SDR eff", "intra", "intra eff"},
 	}
-	for _, p := range procCounts {
-		native, err := runMode(Native, p, hpccgMain(hpccgPaperConfig(Native, iters, false)))
-		if err != nil {
-			return nil, err
-		}
-		classic, err := runMode(Classic, p/2, hpccgMain(hpccgPaperConfig(Classic, iters, false)))
-		if err != nil {
-			return nil, err
-		}
-		intra, err := runMode(Intra, p/2, hpccgMain(hpccgPaperConfig(Intra, iters, false)))
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range procCounts {
+		native, classic, intra := ms[3*i], ms[3*i+1], ms[3*i+2]
 		t.AddRow(fmt.Sprintf("%d", p),
 			secs(native.AppTotal),
-			secs(classic.AppTotal), fmt.Sprintf("%.2f", efficiency(native, classic)),
-			secs(intra.AppTotal), fmt.Sprintf("%.2f", efficiency(native, intra)),
+			secs(classic.AppTotal), fmt.Sprintf("%.2f", Efficiency(native, classic)),
+			secs(intra.AppTotal), fmt.Sprintf("%.2f", Efficiency(native, intra)),
 		)
 	}
 	t.Note("paper: SDR eff 0.5; intra eff 0.80 / 0.79 / 0.82 at 128 / 256 / 512")
@@ -116,31 +151,28 @@ func Fig5b(procCounts []int, iters int) (*Table, error) {
 // fig6 runs one application in the Figure 6 protocol: constant problem
 // size, native on `logical` processes, replicated modes on twice the
 // physical resources.
-func fig6(id, title string, logical int, main appMain, paperNote string) (*Table, error) {
-	native, err := runMode(Native, logical, main)
+func fig6(id, title string, logical int, app App, paperNote string) (*Table, error) {
+	ms, err := sweepMeasures(
+		Spec{Name: id + "/native", Mode: Native, Logical: logical, App: app},
+		Spec{Name: id + "/classic", Mode: Classic, Logical: logical, App: app},
+		Spec{Name: id + "/intra", Mode: Intra, Logical: logical, App: app},
+	)
 	if err != nil {
 		return nil, err
 	}
-	classic, err := runMode(Classic, logical, main)
-	if err != nil {
-		return nil, err
-	}
-	intra, err := runMode(Intra, logical, main)
-	if err != nil {
-		return nil, err
-	}
+	native := ms[0]
 	t := &Table{
 		ID:     id,
 		Title:  title,
 		Header: []string{"config", "phys procs", "time (s)", "sections (s)", "others (s)", "efficiency"},
 	}
-	for _, m := range []*Measure{native, classic, intra} {
+	for _, m := range ms {
 		t.AddRow(m.Mode.String(),
 			fmt.Sprintf("%d", m.PhysProcs),
 			secs(m.AppTotal),
 			secs(m.Stats.SectionTime),
 			secs(m.AppTotal-m.Stats.SectionTime),
-			fmt.Sprintf("%.2f", efficiency(native, m)),
+			fmt.Sprintf("%.2f", Efficiency(native, m)),
 		)
 	}
 	frac := float64(native.Stats.SectionTime) / float64(native.AppTotal)
@@ -163,15 +195,8 @@ func Fig6aConfig() amg.Config {
 
 // Fig6a regenerates Figure 6a: AMG2013, 27-point stencil, PCG solver.
 func Fig6a(logical int) (*Table, error) {
-	cfg := Fig6aConfig()
 	return fig6("fig6a", "AMG (27-point stencil, PCG solver)", logical,
-		func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
-			res, err := amg.Run(rt, cfg)
-			if err != nil {
-				return 0, nil, core.Stats{}, err
-			}
-			return res.Total, res.Kernels, res.Stats, nil
-		},
+		AMG(Fig6aConfig()),
 		"paper: eff 1 / 0.48 / 0.61, sections = 62% of native time")
 }
 
@@ -190,15 +215,8 @@ func Fig6bConfig() amg.Config {
 
 // Fig6b regenerates Figure 6b: AMG2013, 7-point stencil, GMRES solver.
 func Fig6b(logical int) (*Table, error) {
-	cfg := Fig6bConfig()
 	return fig6("fig6b", "AMG (7-point stencil, GMRES solver)", logical,
-		func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
-			res, err := amg.Run(rt, cfg)
-			if err != nil {
-				return 0, nil, core.Stats{}, err
-			}
-			return res.Total, res.Kernels, res.Stats, nil
-		},
+		AMG(Fig6bConfig()),
 		"paper: eff 1 / 0.49 / 0.59, sections = 42% of native time")
 }
 
@@ -214,15 +232,8 @@ func Fig6cConfig() gtc.Config {
 
 // Fig6c regenerates Figure 6c: the GTC particle-in-cell code.
 func Fig6c(logical int) (*Table, error) {
-	cfg := Fig6cConfig()
 	return fig6("fig6c", "GTC (gyrokinetic particle-in-cell)", logical,
-		func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
-			res, err := gtc.Run(rt, cfg)
-			if err != nil {
-				return 0, nil, core.Stats{}, err
-			}
-			return res.Total, res.Kernels, res.Stats, nil
-		},
+		GTC(Fig6cConfig()),
 		"paper: eff 1 / 0.49 / 0.71, sections = 75% of native time, inout copy ~6% on affected tasks")
 }
 
@@ -240,15 +251,8 @@ func Fig6dConfig() minighost.Config {
 // Fig6d regenerates Figure 6d: MiniGhost (27-point stencil boundary
 // exchange).
 func Fig6d(logical int) (*Table, error) {
-	cfg := Fig6dConfig()
 	return fig6("fig6d", "MiniGhost (3D 27-point stencil)", logical,
-		func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
-			res, err := minighost.Run(rt, cfg)
-			if err != nil {
-				return 0, nil, core.Stats{}, err
-			}
-			return res.Total, res.Kernels, res.Stats, nil
-		},
+		MiniGhost(Fig6dConfig()),
 		"paper: eff 1 / 0.49 / 0.51, sections = 10% of native time")
 }
 

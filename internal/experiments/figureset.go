@@ -1,0 +1,66 @@
+package experiments
+
+import "fmt"
+
+// FigureIDs lists every regenerable figure of the evaluation, in
+// presentation order. "all" in the CLIs expands to this list.
+var FigureIDs = []string{
+	"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
+	"ckpt", "granularity", "inout", "degree",
+}
+
+// FigureDescriptions maps figure ids to one-line summaries for CLI
+// listings.
+var FigureDescriptions = map[string]string{
+	"fig5a":       "HPCCG kernels (waxpby/ddot/sparsemv), 512 physical processes",
+	"fig5b":       "HPCCG weak scaling, 128/256/512 physical processes",
+	"fig6a":       "AMG, 27-point stencil, PCG",
+	"fig6b":       "AMG, 7-point stencil, GMRES",
+	"fig6c":       "GTC particle-in-cell",
+	"fig6d":       "MiniGhost 27-point stencil",
+	"ckpt":        "checkpoint/restart vs replication model (Section II)",
+	"granularity": "ablation: tasks per section (Section V-B discussion)",
+	"inout":       "ablation: copy-restore vs atomic update application (Section III-B2)",
+	"degree":      "extension: replication degree 1/2/3 on a constant problem",
+}
+
+func orDefault(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// RunFigure regenerates one figure by id, using the paper-scale defaults.
+// procs overrides the physical process count and iters the solver
+// iteration/step count when positive.
+func RunFigure(id string, procs, iters int) (*Table, error) {
+	switch id {
+	case "fig5a":
+		return Fig5a(orDefault(procs, 512), orDefault(iters, 10))
+	case "fig5b":
+		counts := []int{128, 256, 512}
+		if procs > 0 {
+			counts = []int{procs}
+		}
+		return Fig5b(counts, orDefault(iters, 10))
+	case "fig6a":
+		return Fig6a(orDefault(procs, 252))
+	case "fig6b":
+		return Fig6b(orDefault(procs, 252))
+	case "fig6c":
+		return Fig6c(orDefault(procs, 256))
+	case "fig6d":
+		return Fig6d(orDefault(procs, 256))
+	case "ckpt":
+		return CkptModelTable(), nil
+	case "granularity":
+		return AblationTaskGranularity(orDefault(procs, 64))
+	case "inout":
+		return AblationInoutMode(orDefault(procs, 64))
+	case "degree":
+		return AblationDegree(orDefault(procs, 32))
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (try -list)", id)
+	}
+}

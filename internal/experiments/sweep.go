@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps/amg"
+	"repro/internal/apps/apputil"
+	"repro/internal/apps/gtc"
+	"repro/internal/apps/hpccg"
+	"repro/internal/apps/minighost"
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/simnet"
+)
+
+// App is one benchmark application bound to a concrete configuration,
+// ready to run on a sweep point. The key is a content fingerprint of the
+// configuration: two Apps with equal keys produce identical simulations,
+// which is what lets the sweep memoize repeated points.
+type App struct {
+	Name string
+	key  string
+	main appMain
+}
+
+// HPCCG wraps the HPCCG conjugate-gradient mini-app for a sweep.
+func HPCCG(cfg hpccg.Config) App {
+	return App{Name: "hpccg", key: fmt.Sprintf("hpccg:%+v", cfg), main: hpccgMain(cfg)}
+}
+
+// AMG wraps the AMG2013 multigrid mini-app for a sweep.
+func AMG(cfg amg.Config) App {
+	return App{Name: "amg", key: fmt.Sprintf("amg:%+v", cfg), main: amgMain(cfg)}
+}
+
+// GTC wraps the GTC particle-in-cell code for a sweep.
+func GTC(cfg gtc.Config) App {
+	return App{Name: "gtc", key: fmt.Sprintf("gtc:%+v", cfg), main: gtcMain(cfg)}
+}
+
+// MiniGhost wraps the MiniGhost stencil mini-app for a sweep.
+func MiniGhost(cfg minighost.Config) App {
+	return App{Name: "minighost", key: fmt.Sprintf("minighost:%+v", cfg), main: minighostMain(cfg)}
+}
+
+// Spec is one sweep point: a platform, a fault-tolerance mode, and an
+// application. The zero values of Degree, Net and Machine select the
+// paper's defaults (degree 2, InfiniBand 20G, Grid'5000 node).
+type Spec struct {
+	Name    string // label carried into the Result
+	Mode    Mode
+	Logical int // logical MPI ranks
+	Degree  int // replication degree (0 = default 2)
+	Opts    core.Options
+	Net     simnet.Config
+	Machine perf.Machine
+	App     App
+}
+
+// key returns the memo fingerprint of the spec, or "" when the spec is not
+// memoizable (custom scheduler or hooks carry code the key cannot see).
+func (s Spec) key() string {
+	o := s.Opts
+	if s.App.key == "" || o.Sched != nil ||
+		o.Hooks.BeforeTaskExec != nil || o.Hooks.AfterTaskExec != nil || o.Hooks.AfterArgSend != nil {
+		return ""
+	}
+	return fmt.Sprintf("m%d:l%d:d%d:im%d:cs%g:net%+v:mach%+v:%s",
+		s.Mode, s.Logical, s.Degree, o.Mode, o.CostScale, s.Net, s.Machine, s.App.key)
+}
+
+// KernelResult is the JSON view of one kernel's timing.
+type KernelResult struct {
+	WallSeconds       float64 `json:"wall_seconds"`
+	UpdateWaitSeconds float64 `json:"update_wait_seconds"`
+	Calls             int     `json:"calls"`
+}
+
+// Result is the outcome of one sweep point. All virtual times are reported
+// in seconds; ElapsedMS is the real time the simulation took (zero when the
+// point was served from the memo).
+type Result struct {
+	Name              string                  `json:"name"`
+	App               string                  `json:"app"`
+	Mode              string                  `json:"mode"`
+	Logical           int                     `json:"logical"`
+	Degree            int                     `json:"degree"`
+	PhysProcs         int                     `json:"phys_procs"`
+	WallSeconds       float64                 `json:"wall_seconds"`
+	AppSeconds        float64                 `json:"app_seconds"`
+	SectionSeconds    float64                 `json:"section_seconds"`
+	UpdateWaitSeconds float64                 `json:"update_wait_seconds"`
+	CopySeconds       float64                 `json:"copy_seconds"`
+	Sections          int                     `json:"sections"`
+	TasksRun          int                     `json:"tasks_run"`
+	TasksReceived     int                     `json:"tasks_received"`
+	UpdateBytes       int64                   `json:"update_bytes"`
+	SimEvents         uint64                  `json:"sim_events"`
+	SimProcs          int                     `json:"sim_procs"`
+	ElapsedMS         float64                 `json:"elapsed_ms"`
+	Memoized          bool                    `json:"memoized"`
+	Kernels           map[string]KernelResult `json:"kernels,omitempty"`
+
+	// Measure is the raw aggregate, for figure builders that need
+	// sim.Time arithmetic. Memoized results share one Measure.
+	Measure *Measure `json:"-"`
+}
+
+// KernelResults converts per-kernel timings to their JSON view. Shared by
+// the sweep runner and the CLI reports so there is one wire schema.
+func KernelResults(kernels map[string]*apputil.KernelTime) map[string]KernelResult {
+	out := make(map[string]KernelResult, len(kernels))
+	for name, kt := range kernels {
+		out[name] = KernelResult{
+			WallSeconds:       kt.Wall.Seconds(),
+			UpdateWaitSeconds: kt.UpdateWait.Seconds(),
+			Calls:             kt.Calls,
+		}
+	}
+	return out
+}
+
+// Sweep runs every spec and returns the results in spec order. Points run
+// concurrently on up to GOMAXPROCS workers, each worker owning its own
+// sim.Engine; engines share no state, so results are identical to a serial
+// run. Specs with equal content keys are simulated once and the remaining
+// occurrences served from an in-memory memo.
+func Sweep(specs []Spec) ([]Result, error) { return SweepN(0, specs) }
+
+// SweepN is Sweep with an explicit worker count (0 = GOMAXPROCS).
+func SweepN(workers int, specs []Spec) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Deduplicate up front: uniqOf maps each spec to the run that serves
+	// it. Doing this before dispatch (rather than racing a singleflight)
+	// keeps memo behavior independent of worker scheduling.
+	firstIdx := map[string]int{}
+	uniqOf := make([]int, len(specs))
+	var uniq []Spec
+	for i, s := range specs {
+		if k := s.key(); k != "" {
+			if j, ok := firstIdx[k]; ok {
+				uniqOf[i] = j
+				continue
+			}
+			firstIdx[k] = len(uniq)
+		}
+		uniqOf[i] = len(uniq)
+		uniq = append(uniq, s)
+	}
+
+	runs := make([]Result, len(uniq))
+	errs := make([]error, len(uniq))
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1))
+				if j >= len(uniq) {
+					return
+				}
+				runs[j], errs[j] = runSpec(uniq[j])
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Report the first failure in spec order, so the error is the same
+	// whatever the worker count.
+	for i, s := range specs {
+		if err := errs[uniqOf[i]]; err != nil {
+			return nil, fmt.Errorf("sweep %q: %w", s.Name, err)
+		}
+	}
+
+	out := make([]Result, len(specs))
+	seen := make([]bool, len(uniq))
+	for i, s := range specs {
+		r := runs[uniqOf[i]]
+		r.Name = s.Name
+		if seen[uniqOf[i]] {
+			r.Memoized = true
+			r.ElapsedMS = 0
+		}
+		seen[uniqOf[i]] = true
+		out[i] = r
+	}
+	return out, nil
+}
+
+// runSpec simulates one sweep point on a fresh engine.
+func runSpec(s Spec) (Result, error) {
+	if s.App.main == nil {
+		return Result{}, fmt.Errorf("spec %q has no application", s.Name)
+	}
+	start := time.Now()
+	c := NewCluster(ClusterConfig{
+		Logical: s.Logical, Mode: s.Mode, Degree: s.Degree,
+		Net: s.Net, Machine: s.Machine, IntraOpts: s.Opts,
+	})
+	m := &Measure{Mode: s.Mode, Kernels: map[string]*apputil.KernelTime{}}
+	var firstErr error
+	c.Launch(func(rt core.Runner) {
+		total, kernels, st, err := s.App.main(rt)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rank %d: %w", rt.LogicalRank(), err)
+			}
+			return
+		}
+		m.add(total, kernels, st)
+	})
+	wall, err := c.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	m.finish(wall, c.PhysProcs())
+
+	degree := s.Degree
+	if degree == 0 {
+		degree = 2
+	}
+	if !s.Mode.Replicated() {
+		degree = 1
+	}
+	es := c.E.Stats()
+	r := Result{
+		Name:              s.Name,
+		App:               s.App.Name,
+		Mode:              s.Mode.String(),
+		Logical:           s.Logical,
+		Degree:            degree,
+		PhysProcs:         m.PhysProcs,
+		WallSeconds:       m.Wall.Seconds(),
+		AppSeconds:        m.AppTotal.Seconds(),
+		SectionSeconds:    m.Stats.SectionTime.Seconds(),
+		UpdateWaitSeconds: m.Stats.UpdateWait.Seconds(),
+		CopySeconds:       m.Stats.CopyTime.Seconds(),
+		Sections:          m.Stats.Sections,
+		TasksRun:          m.Stats.TasksRun,
+		TasksReceived:     m.Stats.TasksReceived,
+		UpdateBytes:       m.Stats.UpdateBytes,
+		SimEvents:         es.Events,
+		SimProcs:          es.Procs,
+		ElapsedMS:         float64(time.Since(start).Microseconds()) / 1e3,
+		Kernels:           KernelResults(m.Kernels),
+		Measure:           m,
+	}
+	return r, nil
+}
+
+// sweepMeasures runs the specs and returns just the raw measures, in spec
+// order: the form the figure builders consume.
+func sweepMeasures(specs ...Spec) ([]*Measure, error) {
+	res, err := Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]*Measure, len(res))
+	for i := range res {
+		ms[i] = res[i].Measure
+	}
+	return ms, nil
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/apps/hpccg"
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func smallHPCCG(iters int) hpccg.Config {
+	return hpccg.Config{
+		Nx: 8, Ny: 8, Nz: 8, Iters: iters, Tasks: 8,
+		Scale: 64, PlaneScale: 16,
+		IntraDdot: true, IntraSparsemv: true,
+	}
+}
+
+func smallSpecs() []Spec {
+	cfg := smallHPCCG(4)
+	return []Spec{
+		{Name: "native", Mode: Native, Logical: 8, App: HPCCG(cfg)},
+		{Name: "classic", Mode: Classic, Logical: 4, App: HPCCG(cfg)},
+		{Name: "intra", Mode: Intra, Logical: 4, App: HPCCG(cfg)},
+		{Name: "intra-d3", Mode: Intra, Logical: 4, Degree: 3, App: HPCCG(cfg)},
+	}
+}
+
+// canonicalize strips the fields that legitimately vary between runs
+// (real-time measurements) so the rest can be compared byte for byte.
+func canonicalize(t *testing.T, res []Result) string {
+	t.Helper()
+	for i := range res {
+		res[i].ElapsedMS = 0
+	}
+	b, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSweepDeterministicAcrossWorkers runs the same spec list serially and
+// at several worker counts: results must be identical in content and order.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	specs := smallSpecs()
+	serial, err := SweepN(1, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalize(t, serial)
+	for _, workers := range []int{2, 4, 8} {
+		res, err := SweepN(workers, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := canonicalize(t, res); got != want {
+			t.Fatalf("workers=%d diverges from serial run:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestSweepResultFields spot-checks the structured result of one point.
+func TestSweepResultFields(t *testing.T) {
+	res, err := Sweep(smallSpecs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Name != "native" || r.App != "hpccg" || r.Mode != "Open MPI" {
+		t.Fatalf("identity fields wrong: %+v", r)
+	}
+	if r.Logical != 8 || r.PhysProcs != 8 || r.Degree != 1 {
+		t.Fatalf("size fields wrong: %+v", r)
+	}
+	if r.AppSeconds <= 0 || r.WallSeconds < r.AppSeconds {
+		t.Fatalf("time fields wrong: %+v", r)
+	}
+	if r.SimEvents == 0 || r.SimProcs != 8 {
+		t.Fatalf("engine stats wrong: %+v", r)
+	}
+	if len(r.Kernels) == 0 || r.Kernels["ddot"].Calls == 0 {
+		t.Fatalf("kernels missing: %+v", r.Kernels)
+	}
+	if r.Memoized {
+		t.Fatal("sole run cannot be a memo hit")
+	}
+	if r.Measure == nil {
+		t.Fatal("raw measure not attached")
+	}
+}
+
+// TestSweepMemo checks that identical points are simulated once: later
+// occurrences are flagged, share the first run's measure, and the
+// application body does not execute again.
+func TestSweepMemo(t *testing.T) {
+	var runs atomic.Int32
+	counted := func(key string) App {
+		return App{Name: "counted", key: key, main: func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+			runs.Add(1)
+			rt.Compute(perf.Work{Flops: 1e6})
+			return rt.Now(), nil, core.Stats{}, nil
+		}}
+	}
+	specs := []Spec{
+		{Name: "a", Mode: Native, Logical: 2, App: counted("k1")},
+		{Name: "b", Mode: Native, Logical: 2, App: counted("k1")}, // dup of a
+		{Name: "c", Mode: Native, Logical: 2, App: counted("k2")}, // different app key
+		{Name: "d", Mode: Intra, Logical: 2, App: counted("k1")},  // different mode
+		{Name: "e", Mode: Native, Logical: 2, App: counted("k1")}, // dup of a
+	}
+	res, err := Sweep(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a, c: 2 logical ranks each; d: 2 logical x 2 replicas. b and e memoized.
+	if got := runs.Load(); got != 2+2+4 {
+		t.Fatalf("app ran %d times, want 8 (memo misses only)", got)
+	}
+	wantMemo := map[string]bool{"a": false, "b": true, "c": false, "d": false, "e": true}
+	for _, r := range res {
+		if r.Memoized != wantMemo[r.Name] {
+			t.Fatalf("%s: memoized = %v, want %v", r.Name, r.Memoized, wantMemo[r.Name])
+		}
+	}
+	if res[1].Measure != res[0].Measure || res[4].Measure != res[0].Measure {
+		t.Fatal("memo hits must share the original measure")
+	}
+	if res[2].Measure == res[0].Measure || res[3].Measure == res[0].Measure {
+		t.Fatal("distinct points must not share measures")
+	}
+	if res[1].ElapsedMS != 0 {
+		t.Fatal("memo hits should report zero elapsed time")
+	}
+	if res[1].Name != "b" {
+		t.Fatal("memo hits keep their own spec name")
+	}
+}
+
+// TestSweepNoMemoForHookedSpecs checks that specs carrying code the key
+// cannot fingerprint (hooks, custom schedulers) are never deduplicated.
+func TestSweepNoMemoForHookedSpecs(t *testing.T) {
+	var runs atomic.Int32
+	app := App{Name: "x", key: "same", main: func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+		runs.Add(1)
+		return rt.Now(), nil, core.Stats{}, nil
+	}}
+	hooked := core.Options{Hooks: core.Hooks{BeforeTaskExec: func(int, int) {}}}
+	_, err := Sweep([]Spec{
+		{Name: "h1", Mode: Intra, Logical: 1, Opts: hooked, App: app},
+		{Name: "h2", Mode: Intra, Logical: 1, Opts: hooked, App: app},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 4 { // 2 specs x 1 logical x 2 replicas
+		t.Fatalf("hooked specs ran %d bodies, want 4 (no dedup)", got)
+	}
+}
+
+// TestSweepErrorPropagation checks that a failing app run surfaces as an
+// error naming the failing spec, deterministically across worker counts.
+func TestSweepErrorPropagation(t *testing.T) {
+	boom := App{Name: "boom", key: "boom", main: func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
+		return 0, nil, core.Stats{}, errInjected
+	}}
+	specs := []Spec{
+		{Name: "fine", Mode: Native, Logical: 2, App: HPCCG(smallHPCCG(2))},
+		{Name: "broken", Mode: Native, Logical: 2, App: boom},
+	}
+	for _, workers := range []int{1, 4} {
+		res, err := SweepN(workers, specs)
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: no results expected on error", workers)
+		}
+		if !strings.Contains(err.Error(), `"broken"`) || !strings.Contains(err.Error(), "injected") {
+			t.Fatalf("workers=%d: error should name the spec and cause: %v", workers, err)
+		}
+	}
+	// A spec with no application is an immediate, named error.
+	if _, err := Sweep([]Spec{{Name: "empty", Mode: Native, Logical: 1}}); err == nil {
+		t.Fatal("expected an error for a spec without an application")
+	}
+}
+
+var errInjected = errInjectedType{}
+
+type errInjectedType struct{}
+
+func (errInjectedType) Error() string { return "injected failure" }
+
+// TestSpecPartialPlatformDefaults checks that Net and Machine default
+// independently: overriding just one must not discard or zero the other.
+func TestSpecPartialPlatformDefaults(t *testing.T) {
+	cfg := smallHPCCG(2)
+	base, err := Sweep([]Spec{{Name: "default", Mode: Native, Logical: 2, App: HPCCG(cfg)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machineOnly, err := Sweep([]Spec{{Name: "skylake", Mode: Native, Logical: 2,
+		Machine: perf.Skylake, App: HPCCG(cfg)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machineOnly[0].AppSeconds >= base[0].AppSeconds {
+		t.Fatalf("Skylake override ignored: %v >= %v (grid5000)",
+			machineOnly[0].AppSeconds, base[0].AppSeconds)
+	}
+	netOnly, err := Sweep([]Spec{{Name: "eth", Mode: Native, Logical: 2,
+		Net: simnet.Ethernet10G, App: HPCCG(cfg)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := netOnly[0].AppSeconds; s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Fatalf("net-only spec got a zero machine model: app seconds = %v", s)
+	}
+}
+
+// TestFigureRegistry checks the id registry both CLIs share.
+func TestFigureRegistry(t *testing.T) {
+	if len(FigureIDs) != len(FigureDescriptions) {
+		t.Fatalf("ids and descriptions out of sync: %d vs %d", len(FigureIDs), len(FigureDescriptions))
+	}
+	for _, id := range FigureIDs {
+		if FigureDescriptions[id] == "" {
+			t.Fatalf("no description for %q", id)
+		}
+	}
+	if _, err := RunFigure("nope", 0, 0); err == nil {
+		t.Fatal("unknown figure id must error")
+	}
+	tab, err := RunFigure("ckpt", 0, 0)
+	if err != nil || tab.ID != "ckpt" {
+		t.Fatalf("ckpt: %v %v", tab, err)
+	}
+}
+
+// TestFiguresByteIdenticalAcrossGOMAXPROCS regenerates a figure with the
+// worker pool forced serial and fully parallel: the rendered tables must
+// match byte for byte. The figure path sizes its pool from GOMAXPROCS, so
+// the serial rendering pins it to 1.
+func TestFiguresByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	render := func() string {
+		tab, err := Fig5b([]int{16}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := render()
+	runtime.GOMAXPROCS(prev)
+	for i := 0; i < 3; i++ {
+		if got := render(); got != serial {
+			t.Fatalf("parallel rendering diverges from GOMAXPROCS=1:\n%s\nvs\n%s", got, serial)
+		}
+	}
+}

@@ -10,12 +10,13 @@ import (
 )
 
 // Table is a regenerated figure: the same series the paper plots, as rows.
+// The JSON form is what `cmd/intrasim -json` and `cmd/sweep -json` emit.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -130,37 +131,10 @@ func (m *Measure) finish(wall sim.Time, phys int) {
 // timings (total, per-kernel, stats).
 type appMain func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error)
 
-// runMode executes main under the given mode and logical size and returns
-// the aggregated measure.
-func runMode(mode Mode, logical int, main appMain) (*Measure, error) {
-	m := &Measure{Mode: mode, Kernels: map[string]*apputil.KernelTime{}}
-	var firstErr error
-	c := NewCluster(ClusterConfig{Logical: logical, Mode: mode})
-	c.Launch(func(rt core.Runner) {
-		total, kernels, st, err := main(rt)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("rank %d: %w", rt.LogicalRank(), err)
-			}
-			return
-		}
-		m.add(total, kernels, st)
-	})
-	wall, err := c.Run()
-	if err != nil {
-		return nil, err
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	m.finish(wall, c.PhysProcs())
-	return m, nil
-}
-
-// efficiency computes the paper's workload efficiency E = Tsolve/Twallclock
+// Efficiency computes the paper's workload efficiency E = Tsolve/Twallclock
 // normalized by resources: native and mode may use different numbers of
 // physical processes (Fig 6) or the same (Fig 5).
-func efficiency(native, mode *Measure) float64 {
+func Efficiency(native, mode *Measure) float64 {
 	return float64(native.AppTotal) * float64(native.PhysProcs) /
 		(float64(mode.AppTotal) * float64(mode.PhysProcs))
 }

@@ -68,11 +68,12 @@ type Request struct {
 	err    error
 }
 
-var reqCounter uint64
-
 func newRequest(st *rankState, isRecv bool, key matchKey) *Request {
-	reqCounter++
-	return &Request{id: reqCounter, st: st, isRecv: isRecv, key: key, fut: st.w.e.NewFuture()}
+	// The id sequence lives on the World (not in a package variable) so
+	// that independent worlds — e.g. one per sweep worker — never share
+	// mutable state and stay individually deterministic.
+	st.w.reqSeq++
+	return &Request{id: st.w.reqSeq, st: st, isRecv: isRecv, key: key, fut: st.w.e.NewFuture()}
 }
 
 func (rq *Request) complete(msg *Message, err error) {

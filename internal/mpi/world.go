@@ -38,6 +38,7 @@ type World struct {
 	ranks     []*rankState
 	placement func(rank int) int
 	commSeq   int
+	reqSeq    uint64
 	world     *Comm
 	deathSubs []func(rank int)
 }

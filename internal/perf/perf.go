@@ -72,3 +72,18 @@ var Grid5000 = Machine{
 	MemBWPerCore: 3.0e9,
 	FlopsPerCore: 2.0e9,
 }
+
+// Skylake approximates one core of a modern HPC node (Skylake-SP era,
+// ~2.4 GHz, 6-channel DDR4 shared by ~24 cores): for what-if sweeps beyond
+// the paper's 2009 testbed. Both bounds grow, but bandwidth per core grows
+// less than the flop rate, which shifts more kernels memory-bound.
+var Skylake = Machine{
+	MemBWPerCore: 5.0e9,
+	FlopsPerCore: 1.2e10,
+}
+
+// Machines names the machine models available to the sweep CLI.
+var Machines = map[string]Machine{
+	"grid5000": Grid5000,
+	"skylake":  Skylake,
+}

@@ -157,6 +157,17 @@ func (e *Engine) resume(p *Proc) {
 // engine context.
 func (e *Engine) Current() *Proc { return e.cur }
 
+// Stats is a snapshot of engine-level counters, taken after a run for
+// harness-level reporting (e.g. the experiment sweep results).
+type Stats struct {
+	Now    Time   // current virtual time
+	Events uint64 // events processed so far
+	Procs  int    // processes ever spawned
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats { return Stats{Now: e.now, Events: e.nEvents, Procs: len(e.procs)} }
+
 func (e *Engine) runKillHooks(p *Proc) {
 	for _, h := range e.killHooks {
 		h(p)

@@ -43,6 +43,23 @@ var InfiniBand20G = Config{
 	CoresPerNode:   4,
 }
 
+// Ethernet10G approximates a commodity 10 GbE cluster of the same era:
+// higher latency and less application payload than the InfiniBand fabric,
+// for what-if sweeps over the interconnect.
+var Ethernet10G = Config{
+	Latency:        sim.Micros(15),
+	Bandwidth:      1.1e9,
+	LocalLatency:   sim.Micros(0.5),
+	LocalBandwidth: 6.0e9,
+	CoresPerNode:   4,
+}
+
+// Nets names the interconnect models available to the sweep CLI.
+var Nets = map[string]Config{
+	"ib20g":  InfiniBand20G,
+	"eth10g": Ethernet10G,
+}
+
 // Node is one cluster node's NIC state.
 type Node struct {
 	id     int
