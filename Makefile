@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench lint sweep figures
+.PHONY: build test bench lint sweep figures campaign check-docs
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,11 @@ sweep:
 
 figures:
 	$(GO) run ./cmd/intrasim -exp all
+
+campaign:
+	$(GO) run ./cmd/sweep -mode campaign -app gtc -procs 32 -mtbf 0.01,0.1,1
+
+check-docs:
+	@missing=0; for f in $$(grep -ohE '[A-Z]+\.md' doc.go README.md | sort -u); do \
+		if [ ! -f "$$f" ]; then echo "missing $$f (referenced from doc.go/README.md)"; missing=1; fi; \
+	done; exit $$missing

@@ -15,6 +15,15 @@
 //	sweep -app hpccg -modes native,classic,intra -procs 32,64,128
 //	sweep -app gtc -modes intra -procs 64 -degrees 2,3 -net eth10g -json
 //
+// Campaign mode layers Monte Carlo failure injection over the grid: per
+// scenario point it runs -trials seeded simulations with crash schedules
+// drawn from an exponential per-replica MTBF, and aggregates makespan,
+// efficiency and survival statistics with confidence intervals next to the
+// analytic §II checkpoint/restart model:
+//
+//	sweep -mode campaign -app hpccg -procs 16 -mtbf 0.05,0.2,1
+//	sweep -mode campaign -app gtc -modes intra -trials 200 -seed 7 -json
+//
 // Identical points inside one sweep are simulated once (content-keyed
 // memo); results keep the grid order regardless of the worker count, so
 // output is byte-identical to a -workers 1 run.
@@ -30,8 +39,10 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/perf"
+	"repro/internal/sim"
 	"repro/internal/simnet"
 )
 
@@ -48,6 +59,13 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
 	list := flag.Bool("list", false, "list figure ids and exit")
+	modeFlag := flag.String("mode", "", "'campaign' runs Monte Carlo failure injection over the -app grid")
+	trials := flag.Int("trials", 100, "campaign: seeded trials per scenario point")
+	seed := flag.Int64("seed", 1, "campaign: master seed (trial seeds derive deterministically)")
+	mtbfFlag := flag.String("mtbf", "0.2", "campaign: comma-separated per-replica MTBF values in virtual seconds")
+	horizon := flag.Float64("horizon", 0, "campaign: crash-window in virtual seconds (0 = fault-free wall time; crashes drawn past a run's completion are no-ops)")
+	ckptDelta := flag.Float64("ckpt-delta", 0, "campaign: analytic checkpoint cost in seconds (0 = 5% of fault-free wall)")
+	ckptRestart := flag.Float64("ckpt-restart", 0, "campaign: analytic restart cost in seconds (0 = ckpt-delta)")
 	flag.Parse()
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
@@ -65,6 +83,22 @@ func main() {
 	}
 
 	switch {
+	case *modeFlag == "campaign":
+		if *figures != "" {
+			fail("-mode campaign uses the -app grid, not -figures")
+		}
+		if *app == "" {
+			fail("-mode campaign needs an -app grid")
+		}
+		modes := *modesFlag
+		if !setFlags["modes"] {
+			modes = "classic,intra" // campaigns need replicas to crash
+		}
+		runCampaign(*app, modes, *procsFlag, *degreesFlag, *iters, *tasks,
+			*netName, *machineName, *workers,
+			*trials, *seed, *mtbfFlag, *horizon, *ckptDelta, *ckptRestart, *jsonOut)
+	case *modeFlag != "":
+		fail("unknown -mode %q (only 'campaign')", *modeFlag)
 	case *figures != "" && *app != "":
 		fail("use either -figures or -app, not both")
 	case *figures != "":
@@ -314,6 +348,94 @@ func runGrid(app, modesFlag, procsFlag, degreesFlag string, iters, tasks int,
 	}
 	t.Note("efficiency is resource-normalized vs the native run of the same point; '-' when the grid has no native")
 	fmt.Println(t.String())
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fail("bad float list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// runCampaign builds the scenario grid (cross product of app grid flags and
+// -mtbf), runs cfg.Trials seeded failure injections per point through the
+// campaign engine, and reports the aggregates as a table or JSON.
+func runCampaign(app, modesFlag, procsFlag, degreesFlag string, iters, tasks int,
+	netName, machineName string, workers, trials int, seed int64,
+	mtbfFlag string, horizon, ckptDelta, ckptRestart float64, jsonOut bool) {
+	net, ok := simnet.Nets[netName]
+	if !ok {
+		fail("unknown net %q (%s)", netName, nameList(simnet.Nets))
+	}
+	machine, ok := perf.Machines[machineName]
+	if !ok {
+		fail("unknown machine %q (%s)", machineName, nameList(perf.Machines))
+	}
+	modes := parseModes(modesFlag)
+	procs := parseInts(procsFlag)
+	degrees := parseInts(degreesFlag)
+	mtbfs := parseFloats(mtbfFlag)
+
+	// Same two comparison protocols as grid mode: HPCCG weak-scales (-procs
+	// is the physical budget; the native reference runs the full budget),
+	// the fixed-size apps pin the logical rank count.
+	weakScaling := app == "hpccg"
+
+	var scenarios []campaign.Scenario
+	for _, p := range procs {
+		for _, mode := range modes {
+			if !mode.Replicated() {
+				fail("campaign mode %s has no replicas to crash (use classic and/or intra)", mode)
+			}
+			for _, d := range degrees {
+				for _, m := range mtbfs {
+					logical := p
+					sc := campaign.Scenario{
+						Mode: mode, Degree: d, MTBF: sim.Seconds(m),
+						Net: net, Machine: machine,
+						App: appFor(app, mode, d, iters, tasks),
+					}
+					if weakScaling {
+						if p%d != 0 {
+							fail("-procs %d is not divisible by degree %d", p, d)
+						}
+						logical = p / d
+						sc.NativeApp = appFor(app, experiments.Native, d, iters, tasks)
+						sc.NativeLogical = p
+					}
+					if logical < 1 {
+						fail("%d processes cannot host degree %d replication", p, d)
+					}
+					sc.Logical = logical
+					sc.Name = fmt.Sprintf("%s/%s/p%d/d%d/mtbf%g", app, mode, p, d, m)
+					scenarios = append(scenarios, sc)
+				}
+			}
+		}
+	}
+
+	res, err := campaign.Run(campaign.Config{
+		Trials: trials, Seed: seed, Workers: workers,
+		Horizon: sim.Seconds(horizon), CkptDelta: ckptDelta, CkptRestart: ckptRestart,
+	}, scenarios)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		emitJSON(struct {
+			Net     string `json:"net"`
+			Machine string `json:"machine"`
+			*campaign.Result
+		}{netName, machineName, res})
+		return
+	}
+	fmt.Println(res.Table().String())
 }
 
 func emitJSON(v any) {

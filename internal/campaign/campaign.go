@@ -1,0 +1,356 @@
+// Package campaign runs Monte Carlo failure campaigns: many seeded
+// replicated simulations per scenario point, with crash schedules drawn
+// from an exponential per-replica MTBF (fault.ExponentialDraw), aggregated
+// into expected-makespan, workload-efficiency and failure-survival
+// statistics with confidence intervals.
+//
+// A campaign extends the paper's §II analysis with measured data: where
+// internal/ckpt predicts analytically how coordinated checkpoint/restart
+// collapses with shrinking MTBF while replication holds its (intra-boosted)
+// efficiency, a campaign measures the replicated side by actually crashing
+// replicas mid-run and timing the recovered executions, and reports both
+// next to each other.
+//
+// Every trial is one experiments.Spec, so campaigns inherit the sweep
+// runner's worker pool, content-keyed memo and deterministic ordering:
+// trials whose draw contains no crash are simulated once and served from
+// the memo, and the aggregate output is byte-identical for any worker
+// count. All randomness flows from Config.Seed through fault.TrialSeed, so
+// a campaign is reproducible from (seed, scenario grid) alone.
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Scenario is one point of the campaign grid: an application under a
+// replicated fault-tolerance mode on a platform, subjected to an
+// exponential per-replica failure process of mean MTBF.
+type Scenario struct {
+	Name    string
+	Mode    experiments.Mode // must be replicated (Classic or Intra)
+	Logical int              // logical MPI ranks
+	Degree  int              // replication degree (0 = default 2)
+	MTBF    sim.Time         // per-replica mean time between failures
+	Net     simnet.Config
+	Machine perf.Machine
+	Opts    core.Options
+	App     experiments.App
+
+	// NativeApp / NativeLogical override the unreplicated reference run
+	// used for the resource-normalized efficiency metric. The zero values
+	// reuse App and Logical (the Figure 6 constant-problem protocol);
+	// weak-scaling campaigns (HPCCG, Figure 5) set both.
+	NativeApp     experiments.App
+	NativeLogical int
+}
+
+// Config are the campaign-wide knobs.
+type Config struct {
+	Trials  int   // seeded trials per scenario (0 = default 100)
+	Seed    int64 // master seed; trial seeds derive via fault.TrialSeed
+	Workers int   // sweep workers (0 = GOMAXPROCS)
+
+	// Horizon bounds the crash-drawing window. Zero uses each scenario's
+	// measured fault-free wall time, so the failure process covers exactly
+	// the execution it perturbs.
+	Horizon sim.Time
+
+	// CkptDelta / CkptRestart parameterize the analytic cCR comparison
+	// (seconds). Zero defaults delta to 5% of the scenario's fault-free
+	// wall time and restart to delta.
+	CkptDelta   float64
+	CkptRestart float64
+}
+
+// Stat summarizes one metric over a scenario's trials: mean, sample
+// standard deviation, 95% confidence half-width (normal approximation),
+// and range.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func newStat(xs []float64) Stat {
+	if len(xs) == 0 {
+		return Stat{}
+	}
+	s := Stat{Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(len(xs)))
+	}
+	return s
+}
+
+// CrashStats counts the injected failures of a scenario's trials.
+type CrashStats struct {
+	Total           int     `json:"total"`             // crashes injected across all trials
+	MeanPerTrial    float64 `json:"mean_per_trial"`    // expected crashes per run
+	MaxPerTrial     int     `json:"max_per_trial"`     // worst single trial
+	TrialsWithCrash int     `json:"trials_with_crash"` // trials that saw >= 1 failure
+	// SuppressedKills counts drawn failures dropped by the survivability
+	// clamp (they would have killed a logical rank's last replica), and
+	// InterruptedDraws the trials containing at least one: the fraction of
+	// runs the raw failure process would have interrupted, forcing a
+	// checkpoint restart in a real system.
+	SuppressedKills  int `json:"suppressed_kills"`
+	InterruptedDraws int `json:"interrupted_draws"`
+}
+
+// Analytic is the §II model evaluated at the scenario's operating point,
+// for the measured-vs-analytic comparison.
+type Analytic struct {
+	CkptDeltaSeconds   float64 `json:"ckpt_delta_seconds"`
+	CkptRestartSeconds float64 `json:"ckpt_restart_seconds"`
+	// SystemMTBFSeconds is the MTBF of an unreplicated system on the same
+	// node count (MTBF / phys procs): the platform a cCR scheme would run
+	// on.
+	SystemMTBFSeconds float64 `json:"system_mtbf_seconds"`
+	// CCREfficiency is Daly's best-interval cCR efficiency at that system
+	// MTBF.
+	CCREfficiency float64 `json:"ccr_efficiency"`
+	// ReplEfficiency is the Ferreira-style replicated efficiency using the
+	// measured fault-free efficiency as base (exact for degree 2, the
+	// paper's configuration; an approximation otherwise).
+	ReplEfficiency float64 `json:"repl_efficiency"`
+	// CrossoverNodeMTBFSeconds is the per-node MTBF below which cCR on
+	// this node count drops under the scenario's measured fault-free
+	// efficiency — i.e. where replication starts to win.
+	CrossoverNodeMTBFSeconds float64 `json:"crossover_node_mtbf_seconds"`
+}
+
+// ScenarioResult aggregates one scenario's trials.
+type ScenarioResult struct {
+	Name        string  `json:"name"`
+	App         string  `json:"app"`
+	Mode        string  `json:"mode"`
+	Logical     int     `json:"logical"`
+	Degree      int     `json:"degree"`
+	PhysProcs   int     `json:"phys_procs"`
+	MTBFSeconds float64 `json:"mtbf_seconds"`
+	Trials      int     `json:"trials"`
+
+	HorizonSeconds       float64 `json:"horizon_seconds"`
+	FaultFreeWallSeconds float64 `json:"fault_free_wall_seconds"`
+	NativeWallSeconds    float64 `json:"native_wall_seconds"`
+	// FaultFreeEfficiency is the paper's resource-normalized workload
+	// efficiency of the scenario mode without failures (the Figure 5/6
+	// metric).
+	FaultFreeEfficiency float64 `json:"fault_free_efficiency"`
+
+	Makespan   Stat `json:"makespan_seconds"` // wall time over trials
+	Slowdown   Stat `json:"slowdown"`         // trial wall / fault-free wall
+	Efficiency Stat `json:"efficiency"`       // fault-free eff scaled by slowdown
+
+	Crashes  CrashStats `json:"crashes"`
+	MemoHits int        `json:"memo_hits"`
+	Analytic Analytic   `json:"analytic"`
+}
+
+// Result is a whole campaign: the reproducibility envelope plus one
+// aggregate per scenario, in grid order.
+type Result struct {
+	Seed      int64            `json:"seed"`
+	Trials    int              `json:"trials"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Run executes the campaign: two fault-free reference runs per scenario
+// (native and scenario-mode), then Trials seeded failure injections per
+// scenario, all fanned out through the experiments sweep pool, then the
+// deterministic aggregation.
+func Run(cfg Config, scenarios []Scenario) (*Result, error) {
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 100
+	}
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("campaign: no scenarios")
+	}
+	for _, sc := range scenarios {
+		if !sc.Mode.Replicated() {
+			return nil, fmt.Errorf("campaign: scenario %q: mode %s is not replicated", sc.Name, sc.Mode)
+		}
+		if sc.MTBF <= 0 {
+			return nil, fmt.Errorf("campaign: scenario %q: MTBF must be positive", sc.Name)
+		}
+	}
+
+	// Phase 1: fault-free references. Spec order fixes result order.
+	base := make([]experiments.Spec, 0, 2*len(scenarios))
+	for _, sc := range scenarios {
+		nativeApp, nativeLogical := sc.NativeApp, sc.NativeLogical
+		if nativeApp.Name == "" {
+			nativeApp = sc.App
+		}
+		if nativeLogical == 0 {
+			nativeLogical = sc.Logical
+		}
+		base = append(base,
+			experiments.Spec{Name: sc.Name + "/native", Mode: experiments.Native,
+				Logical: nativeLogical, Net: sc.Net, Machine: sc.Machine, App: nativeApp},
+			experiments.Spec{Name: sc.Name + "/fault-free", Mode: sc.Mode,
+				Logical: sc.Logical, Degree: sc.Degree, Opts: sc.Opts,
+				Net: sc.Net, Machine: sc.Machine, App: sc.App})
+	}
+	baseRes, err := experiments.SweepN(cfg.Workers, base)
+	if err != nil {
+		return nil, fmt.Errorf("campaign references: %w", err)
+	}
+
+	// Phase 2: draw and run the trials, one Spec each, all scenarios in a
+	// single sweep so the pool stays saturated across the whole grid.
+	degreeOf := func(sc Scenario) int {
+		if sc.Degree == 0 {
+			return 2
+		}
+		return sc.Degree
+	}
+	var specs []experiments.Spec
+	draws := make([][]fault.Draw, len(scenarios))
+	for i, sc := range scenarios {
+		horizon := cfg.Horizon
+		if horizon == 0 {
+			horizon = baseRes[2*i+1].Measure.Wall
+		}
+		draws[i] = make([]fault.Draw, trials)
+		for t := 0; t < trials; t++ {
+			d := fault.ExponentialDraw(sc.Logical, degreeOf(sc), sc.MTBF, horizon, fault.TrialSeed(cfg.Seed, i, t))
+			draws[i][t] = d
+			specs = append(specs, experiments.Spec{
+				Name: fmt.Sprintf("%s/t%03d", sc.Name, t), Mode: sc.Mode,
+				Logical: sc.Logical, Degree: sc.Degree, Opts: sc.Opts,
+				Net: sc.Net, Machine: sc.Machine, App: sc.App,
+				Fault: d.Schedule,
+			})
+		}
+	}
+	trialRes, err := experiments.SweepN(cfg.Workers, specs)
+	if err != nil {
+		return nil, fmt.Errorf("campaign trials: %w", err)
+	}
+
+	// Phase 3: aggregate per scenario, in grid order.
+	out := &Result{Seed: cfg.Seed, Trials: trials}
+	for i, sc := range scenarios {
+		native, ff := baseRes[2*i], baseRes[2*i+1]
+		ffWall := ff.Measure.Wall.Seconds()
+		ffEff := experiments.Efficiency(native.Measure, ff.Measure)
+		horizon := cfg.Horizon
+		if horizon == 0 {
+			horizon = ff.Measure.Wall
+		}
+
+		walls := make([]float64, trials)
+		slowdowns := make([]float64, trials)
+		effs := make([]float64, trials)
+		var cs CrashStats
+		memoHits := 0
+		for t := 0; t < trials; t++ {
+			r := trialRes[i*trials+t]
+			walls[t] = r.Measure.Wall.Seconds()
+			slowdowns[t] = walls[t] / ffWall
+			effs[t] = ffEff / slowdowns[t]
+			cs.Total += r.Crashes
+			if r.Crashes > 0 {
+				cs.TrialsWithCrash++
+			}
+			if r.Crashes > cs.MaxPerTrial {
+				cs.MaxPerTrial = r.Crashes
+			}
+			if d := draws[i][t]; d.Suppressed > 0 {
+				cs.SuppressedKills += d.Suppressed
+				cs.InterruptedDraws++
+			}
+			if r.Memoized {
+				memoHits++
+			}
+		}
+		cs.MeanPerTrial = float64(cs.Total) / float64(trials)
+
+		delta := cfg.CkptDelta
+		if delta <= 0 {
+			delta = 0.05 * ffWall
+		}
+		restart := cfg.CkptRestart
+		if restart <= 0 {
+			restart = delta
+		}
+		phys := ff.PhysProcs
+		mtbfS := sc.MTBF.Seconds()
+		out.Scenarios = append(out.Scenarios, ScenarioResult{
+			Name: sc.Name, App: sc.App.Name, Mode: sc.Mode.String(),
+			Logical: sc.Logical, Degree: degreeOf(sc), PhysProcs: phys,
+			MTBFSeconds: mtbfS, Trials: trials,
+			HorizonSeconds:       horizon.Seconds(),
+			FaultFreeWallSeconds: ffWall,
+			NativeWallSeconds:    native.Measure.Wall.Seconds(),
+			FaultFreeEfficiency:  ffEff,
+			Makespan:             newStat(walls),
+			Slowdown:             newStat(slowdowns),
+			Efficiency:           newStat(effs),
+			Crashes:              cs,
+			MemoHits:             memoHits,
+			Analytic: Analytic{
+				CkptDeltaSeconds:         delta,
+				CkptRestartSeconds:       restart,
+				SystemMTBFSeconds:        mtbfS / float64(phys),
+				CCREfficiency:            ckpt.BestEfficiency(delta, restart, mtbfS/float64(phys)),
+				ReplEfficiency:           ckpt.ReplicatedEfficiency(ffEff, sc.Logical, mtbfS, delta, restart),
+				CrossoverNodeMTBFSeconds: ckpt.CrossoverMTBF(delta, restart, ffEff) * float64(phys),
+			},
+		})
+	}
+	return out, nil
+}
+
+// Table renders the campaign as the "efficiency vs MTBF" figure family: one
+// row per scenario, measured statistics next to the analytic §II models.
+func (r *Result) Table() *experiments.Table {
+	t := &experiments.Table{
+		ID:    "campaign",
+		Title: fmt.Sprintf("Monte Carlo failure campaign (%d trials/point, seed %d)", r.Trials, r.Seed),
+		Header: []string{"scenario", "mode", "d", "MTBF (s)", "crash/run",
+			"makespan (s)", "±95%", "eff", "ff eff", "cCR model", "repl model", "memo"},
+	}
+	for _, s := range r.Scenarios {
+		t.AddRow(s.Name, s.Mode, fmt.Sprintf("%d", s.Degree),
+			fmt.Sprintf("%.3g", s.MTBFSeconds),
+			fmt.Sprintf("%.2f", s.Crashes.MeanPerTrial),
+			fmt.Sprintf("%.3f", s.Makespan.Mean),
+			fmt.Sprintf("%.4f", s.Makespan.CI95),
+			fmt.Sprintf("%.3f", s.Efficiency.Mean),
+			fmt.Sprintf("%.3f", s.FaultFreeEfficiency),
+			fmt.Sprintf("%.3f", s.Analytic.CCREfficiency),
+			fmt.Sprintf("%.3f", s.Analytic.ReplEfficiency),
+			fmt.Sprintf("%d", s.MemoHits),
+		)
+	}
+	t.Note("eff = fault-free efficiency scaled by the measured failure slowdown; cCR/repl model = §II analytic prediction at the same MTBF")
+	t.Note("below a scenario's crossover node MTBF (see JSON), the cCR model drops under the measured fault-free efficiency and replication wins")
+	return t
+}

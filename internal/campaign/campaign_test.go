@@ -1,0 +1,201 @@
+package campaign_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/hpccg"
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func smallApp() experiments.App {
+	return experiments.HPCCG(hpccg.Config{
+		Nx: 8, Ny: 8, Nz: 8, Iters: 3, Tasks: 8,
+		Scale: 64, PlaneScale: 16,
+		IntraDdot: true, IntraSparsemv: true,
+	})
+}
+
+func smallScenarios() []campaign.Scenario {
+	return []campaign.Scenario{
+		{Name: "intra/lowMTBF", Mode: experiments.Intra, Logical: 2,
+			MTBF: 100 * sim.Millisecond, App: smallApp()},
+		{Name: "intra/highMTBF", Mode: experiments.Intra, Logical: 2,
+			MTBF: 1000 * sim.Second, App: smallApp()},
+		{Name: "classic/lowMTBF", Mode: experiments.Classic, Logical: 2,
+			MTBF: 100 * sim.Millisecond, App: smallApp()},
+	}
+}
+
+// TestCampaignReproducibleAcrossWorkers is the acceptance property: the
+// aggregate JSON of a campaign is byte-identical for any worker count,
+// given the same (seed, grid).
+func TestCampaignReproducibleAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 5} {
+		res, err := campaign.Run(campaign.Config{Trials: 12, Seed: 42, Workers: workers}, smallScenarios())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			want = string(b)
+			continue
+		}
+		if string(b) != want {
+			t.Fatalf("workers=%d: aggregate JSON differs from serial run", workers)
+		}
+	}
+}
+
+// TestCampaignSeedSensitivity: a different master seed draws different
+// failures (makespans or crash counts move), while re-running the same seed
+// reproduces the aggregate exactly.
+func TestCampaignSeedSensitivity(t *testing.T) {
+	scs := smallScenarios()[:1]
+	a, err := campaign.Run(campaign.Config{Trials: 10, Seed: 1}, scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := campaign.Run(campaign.Config{Trials: 10, Seed: 1}, scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	ja2, _ := json.Marshal(a2)
+	if string(ja) != string(ja2) {
+		t.Fatal("same seed must reproduce the same aggregate")
+	}
+	b, err := campaign.Run(campaign.Config{Trials: 10, Seed: 2}, scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scenarios[0].Crashes == b.Scenarios[0].Crashes &&
+		a.Scenarios[0].Makespan == b.Scenarios[0].Makespan {
+		t.Fatal("different seeds produced identical crash draws and makespans")
+	}
+}
+
+// TestCampaignAggregates sanity-checks the statistics: failures only ever
+// delay a run, efficiency degrades from the fault-free value, crash
+// accounting is consistent, and fault-free draws hit the sweep memo.
+func TestCampaignAggregates(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{Trials: 15, Seed: 3}, smallScenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 3 || res.Trials != 15 {
+		t.Fatalf("bad shape: %d scenarios, %d trials", len(res.Scenarios), res.Trials)
+	}
+	for _, s := range res.Scenarios {
+		if s.Makespan.Min < s.FaultFreeWallSeconds-1e-12 {
+			t.Errorf("%s: a failed run (%.6f) beat the fault-free wall (%.6f)",
+				s.Name, s.Makespan.Min, s.FaultFreeWallSeconds)
+		}
+		if s.Efficiency.Max > s.FaultFreeEfficiency+1e-12 {
+			t.Errorf("%s: trial efficiency %.4f above fault-free %.4f",
+				s.Name, s.Efficiency.Max, s.FaultFreeEfficiency)
+		}
+		if s.Makespan.Std < 0 || s.Makespan.CI95 < 0 {
+			t.Errorf("%s: negative dispersion", s.Name)
+		}
+		if s.Crashes.TrialsWithCrash > s.Trials || s.Crashes.MaxPerTrial > s.Logical {
+			t.Errorf("%s: inconsistent crash stats %+v", s.Name, s.Crashes)
+		}
+		if s.Analytic.CCREfficiency < 0 || s.Analytic.CCREfficiency > 1 {
+			t.Errorf("%s: cCR efficiency %v out of range", s.Name, s.Analytic.CCREfficiency)
+		}
+		switch {
+		case strings.Contains(s.Name, "lowMTBF"):
+			if s.Crashes.Total == 0 {
+				t.Errorf("%s: expected crashes at MTBF << wall", s.Name)
+			}
+		case strings.Contains(s.Name, "highMTBF"):
+			if s.Crashes.Total != 0 {
+				t.Errorf("%s: unexpected crashes at MTBF >> wall", s.Name)
+			}
+			if s.MemoHits < s.Trials-1 {
+				t.Errorf("%s: fault-free trials should memoize (%d hits of %d)",
+					s.Name, s.MemoHits, s.Trials)
+			}
+			if s.Slowdown.Mean < 1-1e-12 || s.Slowdown.Mean > 1+1e-12 {
+				t.Errorf("%s: fault-free slowdown %v != 1", s.Name, s.Slowdown.Mean)
+			}
+		}
+	}
+	// Intra must beat classic fault-free; under MTBF << wall the measured
+	// intra efficiency degrades toward classic's, the campaign's headline
+	// phenomenon.
+	intra, classic := res.Scenarios[0], res.Scenarios[2]
+	if intra.FaultFreeEfficiency <= classic.FaultFreeEfficiency {
+		t.Fatalf("intra ff eff %.3f <= classic %.3f",
+			intra.FaultFreeEfficiency, classic.FaultFreeEfficiency)
+	}
+	if intra.Efficiency.Mean >= intra.FaultFreeEfficiency {
+		t.Fatalf("intra under heavy failures should lose efficiency (%.3f >= %.3f)",
+			intra.Efficiency.Mean, intra.FaultFreeEfficiency)
+	}
+}
+
+// TestCampaignHorizonBeyondMakespan is the regression test for the
+// clock-stretch bug: crashes drawn past the program's completion are
+// no-ops and must not inflate the measured makespan (the engine used to
+// advance its clock to every armed crash time while draining the queue).
+func TestCampaignHorizonBeyondMakespan(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{
+		Trials: 10, Seed: 5, Horizon: 1000 * sim.Second,
+	}, []campaign.Scenario{{Name: "far-horizon", Mode: experiments.Intra,
+		Logical: 2, MTBF: 100 * sim.Second, App: smallApp()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Scenarios[0]
+	// Crash times are drawn up to 1000 virtual seconds; the run itself
+	// lasts well under one. Even a crashed run cannot take longer than a
+	// few fault-free walls.
+	if s.Makespan.Max > 3*s.FaultFreeWallSeconds {
+		t.Fatalf("makespan max %.3fs stretched far beyond the fault-free wall %.3fs: "+
+			"post-completion crash events leaked into the clock", s.Makespan.Max, s.FaultFreeWallSeconds)
+	}
+}
+
+// TestCampaignRejectsBadScenarios: native mode and non-positive MTBF are
+// configuration errors, not panics.
+func TestCampaignRejectsBadScenarios(t *testing.T) {
+	_, err := campaign.Run(campaign.Config{Trials: 1},
+		[]campaign.Scenario{{Name: "bad", Mode: experiments.Native, Logical: 2,
+			MTBF: sim.Second, App: smallApp()}})
+	if err == nil || !strings.Contains(err.Error(), "not replicated") {
+		t.Fatalf("native scenario: got %v", err)
+	}
+	_, err = campaign.Run(campaign.Config{Trials: 1},
+		[]campaign.Scenario{{Name: "bad", Mode: experiments.Intra, Logical: 2, App: smallApp()}})
+	if err == nil || !strings.Contains(err.Error(), "MTBF") {
+		t.Fatalf("zero MTBF: got %v", err)
+	}
+	if _, err := campaign.Run(campaign.Config{Trials: 1}, nil); err == nil {
+		t.Fatal("empty grid must error")
+	}
+}
+
+// TestCampaignTable renders without panicking and carries one row per
+// scenario.
+func TestCampaignTable(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{Trials: 4, Seed: 9}, smallScenarios()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Table()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("table rows = %d, want 2", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "intra/lowMTBF") {
+		t.Fatal("table missing scenario name")
+	}
+}

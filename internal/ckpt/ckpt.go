@@ -78,6 +78,43 @@ func ReplicationMTTI(n int, nodeMTBF float64) float64 {
 // SystemMTBF returns the unreplicated system MTBF for n nodes.
 func SystemMTBF(n int, nodeMTBF float64) float64 { return nodeMTBF / float64(n) }
 
+// CrossoverMTBF returns the system MTBF below which coordinated
+// checkpoint/restart is less efficient than a replicated system whose
+// failure-free workload efficiency is base: the m solving
+// BestEfficiency(delta, r, m) == base. BestEfficiency is monotone
+// increasing in m, so the root is found by bisection on a log scale.
+// Returns +Inf when base >= 1 (cCR never reaches it) and 0 when base <= 0.
+func CrossoverMTBF(delta, r, base float64) float64 {
+	if base >= 1 {
+		return math.Inf(1)
+	}
+	if base <= 0 {
+		return 0
+	}
+	lo, hi := delta*1e-6, delta*1e12
+	for BestEfficiency(delta, r, hi) < base {
+		hi *= 1e3
+		if math.IsInf(hi, 1) {
+			return math.Inf(1)
+		}
+	}
+	for BestEfficiency(delta, r, lo) > base {
+		lo /= 1e3
+		if lo == 0 {
+			return 0
+		}
+	}
+	for i := 0; i < 200 && hi/lo > 1+1e-12; i++ {
+		mid := math.Sqrt(lo * hi)
+		if BestEfficiency(delta, r, mid) < base {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}
+
 // ReplicatedEfficiency returns the workload efficiency of a replicated
 // system whose failure-free efficiency is base (0.5 for classic
 // replication, higher with intra-parallelization): the system still

@@ -96,6 +96,38 @@ func TestReplicatedEfficiencyNearBase(t *testing.T) {
 	}
 }
 
+func TestCrossoverMTBF(t *testing.T) {
+	delta, r := 600.0, 600.0
+	for _, base := range []float64{0.3, 0.5, 0.7} {
+		m := CrossoverMTBF(delta, r, base)
+		if math.IsInf(m, 0) || m <= 0 {
+			t.Fatalf("base %v: crossover = %v", base, m)
+		}
+		if e := BestEfficiency(delta, r, m); math.Abs(e-base) > 1e-6 {
+			t.Fatalf("base %v: BestEfficiency(crossover) = %v", base, e)
+		}
+		// Below the crossover cCR loses to replication at efficiency base;
+		// above it wins.
+		if BestEfficiency(delta, r, m/10) >= base {
+			t.Fatalf("base %v: cCR should lose below the crossover", base)
+		}
+		if BestEfficiency(delta, r, m*10) <= base {
+			t.Fatalf("base %v: cCR should win above the crossover", base)
+		}
+	}
+	// Higher base efficiency (intra-parallelization) pushes the crossover
+	// up: replication wins over a wider MTBF range.
+	if CrossoverMTBF(delta, r, 0.7) <= CrossoverMTBF(delta, r, 0.5) {
+		t.Fatal("crossover must grow with base efficiency")
+	}
+	if !math.IsInf(CrossoverMTBF(delta, r, 1), 1) {
+		t.Fatal("base >= 1 is unreachable by cCR")
+	}
+	if CrossoverMTBF(delta, r, 0) != 0 {
+		t.Fatal("base <= 0 is always reached")
+	}
+}
+
 // Property: Wall is >= 1 + delta/tau (you always pay checkpoints) and
 // decreasing in MTBF.
 func TestWallBoundsProperty(t *testing.T) {

@@ -13,7 +13,9 @@ import (
 	"repro/internal/apps/hpccg"
 	"repro/internal/apps/minighost"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/perf"
+	"repro/internal/sim"
 	"repro/internal/simnet"
 )
 
@@ -59,6 +61,13 @@ type Spec struct {
 	Net     simnet.Config
 	Machine perf.Machine
 	App     App
+
+	// Fault, when non-nil and non-empty, arms the crash schedule on the
+	// cluster before launch (replicated modes only). Schedules participate
+	// in the memo key via their content fingerprint, so two trials drawing
+	// identical schedules — in particular, fault-free draws — are simulated
+	// once.
+	Fault *fault.Schedule
 }
 
 // key returns the memo fingerprint of the spec, or "" when the spec is not
@@ -69,8 +78,9 @@ func (s Spec) key() string {
 		o.Hooks.BeforeTaskExec != nil || o.Hooks.AfterTaskExec != nil || o.Hooks.AfterArgSend != nil {
 		return ""
 	}
-	return fmt.Sprintf("m%d:l%d:d%d:im%d:cs%g:net%+v:mach%+v:%s",
-		s.Mode, s.Logical, s.Degree, o.Mode, o.CostScale, s.Net, s.Machine, s.App.key)
+	return fmt.Sprintf("m%d:l%d:d%d:im%d:cs%g:net%+v:mach%+v:flt%s:%s",
+		s.Mode, s.Logical, s.Degree, o.Mode, o.CostScale, s.Net, s.Machine,
+		s.Fault.Fingerprint(), s.App.key)
 }
 
 // KernelResult is the JSON view of one kernel's timing.
@@ -101,6 +111,7 @@ type Result struct {
 	UpdateBytes       int64                   `json:"update_bytes"`
 	SimEvents         uint64                  `json:"sim_events"`
 	SimProcs          int                     `json:"sim_procs"`
+	Crashes           int                     `json:"crashes,omitempty"`
 	ElapsedMS         float64                 `json:"elapsed_ms"`
 	Memoized          bool                    `json:"memoized"`
 	Kernels           map[string]KernelResult `json:"kernels,omitempty"`
@@ -205,13 +216,29 @@ func runSpec(s Spec) (Result, error) {
 	if s.App.main == nil {
 		return Result{}, fmt.Errorf("spec %q has no application", s.Name)
 	}
+	crashes := 0
+	if s.Fault != nil {
+		crashes = len(s.Fault.Crashes)
+	}
+	if crashes > 0 && !s.Mode.Replicated() {
+		return Result{}, fmt.Errorf("spec %q: fault schedule requires a replicated mode", s.Name)
+	}
 	start := time.Now()
 	c := NewCluster(ClusterConfig{
 		Logical: s.Logical, Mode: s.Mode, Degree: s.Degree,
 		Net: s.Net, Machine: s.Machine, IntraOpts: s.Opts,
+		SendLog: crashes > 0,
 	})
+	if crashes > 0 {
+		s.Fault.Install(c.E, c.Sys)
+	}
 	m := &Measure{Mode: s.Mode, Kernels: map[string]*apputil.KernelTime{}}
 	var firstErr error
+	// Wall time is the completion of the last (surviving) replica, not the
+	// engine's queue-drain time: a fault schedule may arm crashes beyond
+	// the program's end (e.g. a campaign horizon larger than the actual
+	// makespan), and those no-op events must not stretch the measured run.
+	var lastEnd sim.Time
 	c.Launch(func(rt core.Runner) {
 		total, kernels, st, err := s.App.main(rt)
 		if err != nil {
@@ -221,15 +248,17 @@ func runSpec(s Spec) (Result, error) {
 			return
 		}
 		m.add(total, kernels, st)
+		if now := rt.Now(); now > lastEnd {
+			lastEnd = now
+		}
 	})
-	wall, err := c.Run()
-	if err != nil {
+	if _, err := c.Run(); err != nil {
 		return Result{}, err
 	}
 	if firstErr != nil {
 		return Result{}, firstErr
 	}
-	m.finish(wall, c.PhysProcs())
+	m.finish(lastEnd, c.PhysProcs())
 
 	degree := s.Degree
 	if degree == 0 {
@@ -257,6 +286,7 @@ func runSpec(s Spec) (Result, error) {
 		UpdateBytes:       m.Stats.UpdateBytes,
 		SimEvents:         es.Events,
 		SimProcs:          es.Procs,
+		Crashes:           crashes,
 		ElapsedMS:         float64(time.Since(start).Microseconds()) / 1e3,
 		Kernels:           KernelResults(m.Kernels),
 		Measure:           m,

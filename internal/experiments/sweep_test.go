@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps/apputil"
 	"repro/internal/apps/hpccg"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -163,6 +164,45 @@ func TestSweepNoMemoForHookedSpecs(t *testing.T) {
 	}
 	if got := runs.Load(); got != 4 { // 2 specs x 1 logical x 2 replicas
 		t.Fatalf("hooked specs ran %d bodies, want 4 (no dedup)", got)
+	}
+}
+
+// TestSweepFaultSpecs checks the fault-schedule wiring: a schedule with
+// crashes slows the point down and is recorded, an empty schedule keys
+// identically to no schedule at all (memo hit), distinct schedules key
+// apart, and a fault on an unreplicated mode is a named error.
+func TestSweepFaultSpecs(t *testing.T) {
+	cfg := smallHPCCG(4)
+	sched := fault.Exponential(4, 2, 20*sim.Millisecond, 100*sim.Millisecond, 5)
+	if len(sched.Crashes) == 0 {
+		t.Fatal("test draw produced no crashes; pick another seed")
+	}
+	specs := []Spec{
+		{Name: "clean", Mode: Intra, Logical: 4, App: HPCCG(cfg)},
+		{Name: "empty-fault", Mode: Intra, Logical: 4, App: HPCCG(cfg), Fault: &fault.Schedule{}},
+		{Name: "crashy", Mode: Intra, Logical: 4, App: HPCCG(cfg), Fault: sched},
+	}
+	res, err := Sweep(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, empty, crashy := res[0], res[1], res[2]
+	if clean.Crashes != 0 || empty.Crashes != 0 || crashy.Crashes != len(sched.Crashes) {
+		t.Fatalf("crash counts wrong: %d/%d/%d", clean.Crashes, empty.Crashes, crashy.Crashes)
+	}
+	if !empty.Memoized || empty.Measure != clean.Measure {
+		t.Fatal("an empty schedule must memoize against the fault-free point")
+	}
+	if crashy.Memoized {
+		t.Fatal("a crashing schedule must not memoize against the fault-free point")
+	}
+	if crashy.WallSeconds < clean.WallSeconds {
+		t.Fatalf("crashes should not speed the run up: %v < %v", crashy.WallSeconds, clean.WallSeconds)
+	}
+	if _, err := Sweep([]Spec{{Name: "native-fault", Mode: Native, Logical: 4,
+		App: HPCCG(cfg), Fault: sched}}); err == nil ||
+		!strings.Contains(err.Error(), "replicated") {
+		t.Fatalf("fault on native must be a named error, got %v", err)
 	}
 }
 

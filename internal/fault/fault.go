@@ -5,7 +5,9 @@
 package fault
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/replication"
@@ -48,6 +50,14 @@ type CrashPlan struct {
 	fired bool
 }
 
+// Reset re-arms the plan. A CrashPlan is stateful (it counts protocol
+// points and fires once); reusing one across runs without a Reset means the
+// second run inherits count/fired from the first and never crashes.
+func (cp *CrashPlan) Reset() {
+	cp.count = 0
+	cp.fired = false
+}
+
 // Hooks builds the intra-engine hooks implementing the plan for the given
 // replica. Pass p == nil (or install on one replica only) elsewhere.
 func (cp *CrashPlan) Hooks(self *replication.Proc) core.Hooks {
@@ -88,13 +98,49 @@ func (s *Schedule) Install(e *sim.Engine, sys *replication.System) {
 	}
 }
 
+// Fingerprint returns a compact content key of the schedule: two schedules
+// with equal fingerprints arm identical crashes. The empty schedule
+// fingerprints to "", so a fault-free trial keys identically to a spec with
+// no schedule at all — which is what lets a sweep memo serve it from the
+// fault-free baseline run.
+func (s *Schedule) Fingerprint() string {
+	if s == nil || len(s.Crashes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, c := range s.Crashes {
+		fmt.Fprintf(&b, "%d:%d@%d;", c.Logical, c.Lane, int64(c.Time))
+	}
+	return b.String()
+}
+
 // Exponential draws a crash schedule from an exponential per-replica MTBF
 // over the horizon, never killing both replicas of the same logical rank
 // (the paper's metric assumes the run is not interrupted; a double failure
 // would force a checkpoint restart). The result is deterministic in seed.
 func Exponential(logical, degree int, mtbf, horizon sim.Time, seed int64) *Schedule {
+	return ExponentialDraw(logical, degree, mtbf, horizon, seed).Schedule
+}
+
+// Draw is one Monte Carlo draw of the failure process: the survivable crash
+// schedule plus the failures the survivability clamp suppressed.
+type Draw struct {
+	Schedule *Schedule
+	// Suppressed counts drawn failures that were dropped because they would
+	// have killed the last replica of a logical rank. A nonzero count means
+	// the raw failure process would have interrupted this run: in a real
+	// system the application falls back to checkpoint restart (§II), so
+	// campaigns report it as a survival statistic.
+	Suppressed int
+}
+
+// ExponentialDraw is Exponential exposing the full draw: the schedule plus
+// the count of suppressed last-replica kills. Deterministic in seed, and
+// consuming the generator identically to Exponential for every (logical,
+// degree, mtbf, horizon).
+func ExponentialDraw(logical, degree int, mtbf, horizon sim.Time, seed int64) Draw {
 	rng := rand.New(rand.NewSource(seed))
-	s := &Schedule{}
+	d := Draw{Schedule: &Schedule{}}
 	killed := make(map[int]int) // logical -> kills so far
 	for r := 0; r < logical; r++ {
 		for l := 0; l < degree; l++ {
@@ -103,11 +149,25 @@ func Exponential(logical, degree int, mtbf, horizon sim.Time, seed int64) *Sched
 				continue
 			}
 			if killed[r]+1 >= degree {
+				d.Suppressed++
 				continue // keep at least one replica alive
 			}
 			killed[r]++
-			s.Crashes = append(s.Crashes, Crash{Logical: r, Lane: l, Time: t})
+			d.Schedule.Crashes = append(d.Schedule.Crashes, Crash{Logical: r, Lane: l, Time: t})
 		}
 	}
-	return s
+	return d
+}
+
+// TrialSeed derives the RNG seed of one campaign trial from the campaign
+// seed and the (scenario, trial) coordinates, via a splitmix64 mix: nearby
+// coordinates give statistically independent streams, and the mapping is
+// stable across runs and worker counts.
+func TrialSeed(base int64, scenario, trial int) int64 {
+	x := uint64(base) ^ 0x9e3779b97f4a7c15*uint64(scenario+1) ^ 0xbf58476d1ce4e5b9*uint64(trial+1)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
 }

@@ -44,6 +44,117 @@ func TestExponentialScheduleProperties(t *testing.T) {
 	}
 }
 
+// TestExponentialDrawHighRate hammers the generator with MTBF three orders
+// of magnitude under the horizon: every logical rank must keep one live
+// replica, the clamp must report what it suppressed, and the draw must stay
+// deterministic and consistent with Exponential.
+func TestExponentialDrawHighRate(t *testing.T) {
+	for _, degree := range []int{2, 3} {
+		for seed := int64(1); seed <= 20; seed++ {
+			d := fault.ExponentialDraw(32, degree, sim.Millisecond, sim.Second, seed)
+			perLogical := map[int]int{}
+			for _, c := range d.Schedule.Crashes {
+				perLogical[c.Logical]++
+			}
+			for r, n := range perLogical {
+				if n > degree-1 {
+					t.Fatalf("degree %d seed %d: logical %d loses all replicas (%d kills)", degree, seed, r, n)
+				}
+			}
+			if d.Suppressed == 0 {
+				t.Fatalf("degree %d seed %d: MTBF/horizon = 1/1000 must suppress kills", degree, seed)
+			}
+			if len(d.Schedule.Crashes)+d.Suppressed != 32*degree {
+				t.Fatalf("degree %d seed %d: %d crashes + %d suppressed != %d draws",
+					degree, seed, len(d.Schedule.Crashes), d.Suppressed, 32*degree)
+			}
+			s := fault.Exponential(32, degree, sim.Millisecond, sim.Second, seed)
+			if s.Fingerprint() != d.Schedule.Fingerprint() {
+				t.Fatalf("degree %d seed %d: Exponential and ExponentialDraw disagree", degree, seed)
+			}
+		}
+	}
+}
+
+// TestScheduleFingerprint: empty schedules (and nil) key to "", distinct
+// schedules to distinct keys, equal schedules to equal keys.
+func TestScheduleFingerprint(t *testing.T) {
+	var nilSched *fault.Schedule
+	if nilSched.Fingerprint() != "" || (&fault.Schedule{}).Fingerprint() != "" {
+		t.Fatal("empty schedule must fingerprint to \"\"")
+	}
+	a := fault.Exponential(8, 2, 10*sim.Millisecond, sim.Second, 1)
+	b := fault.Exponential(8, 2, 10*sim.Millisecond, sim.Second, 1)
+	c := fault.Exponential(8, 2, 10*sim.Millisecond, sim.Second, 2)
+	if a.Fingerprint() == "" || a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal draws must share a fingerprint")
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds should not collide (these draws differ)")
+	}
+}
+
+// TestTrialSeedDerivation: the (base, scenario, trial) -> seed map is
+// stable and collision-free over a realistic campaign envelope.
+func TestTrialSeedDerivation(t *testing.T) {
+	if fault.TrialSeed(7, 3, 11) != fault.TrialSeed(7, 3, 11) {
+		t.Fatal("TrialSeed must be deterministic")
+	}
+	seen := map[int64]bool{}
+	for sc := 0; sc < 20; sc++ {
+		for tr := 0; tr < 200; tr++ {
+			s := fault.TrialSeed(1, sc, tr)
+			if seen[s] {
+				t.Fatalf("seed collision at scenario %d trial %d", sc, tr)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestCrashPlanReset is the regression test for the stateful-plan bug: a
+// CrashPlan reused across runs kept count/fired from the first run and
+// never crashed again. Reset re-arms it.
+func TestCrashPlanReset(t *testing.T) {
+	cfg := hpccg.DefaultConfig()
+	cfg.Nx, cfg.Ny, cfg.Nz = 8, 8, 8
+	cfg.Iters = 4
+
+	plan := &fault.CrashPlan{Point: fault.BeforeExec, Nth: 5}
+	runWithPlan := func() int {
+		c := experiments.NewCluster(experiments.ClusterConfig{
+			Logical: 2, Mode: experiments.Intra, SendLog: true,
+		})
+		c.Sys.Launch("app", func(p *replication.Proc) {
+			opts := core.Options{}
+			if p.Logical == 0 && p.Lane == 0 {
+				opts.Hooks = plan.Hooks(p)
+			}
+			rt := core.NewIntra(p, opts)
+			if _, err := hpccg.Run(rt, cfg); err != nil {
+				t.Errorf("run: %v", err)
+			}
+		})
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Sys.Epoch()
+	}
+
+	if got := runWithPlan(); got != 1 {
+		t.Fatalf("first run: %d deaths, want 1", got)
+	}
+	// Without Reset the plan stays fired: the second run sees no crash.
+	// (That silent no-op is exactly what a reused/memoized plan hits.)
+	if got := runWithPlan(); got != 0 {
+		t.Fatalf("stale plan fired again: %d deaths, want 0", got)
+	}
+	plan.Reset()
+	if got := runWithPlan(); got != 1 {
+		t.Fatalf("after Reset: %d deaths, want 1", got)
+	}
+}
+
 // TestCrashPlanMatrix drives HPCCG through every §III-B2 protocol point on
 // both lanes and both inout modes and checks the survivors compute the
 // failure-free residual.
