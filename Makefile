@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench lint sweep figures campaign check-docs
+.PHONY: build test bench lint sweep figures campaign check-docs validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,11 @@ figures:
 
 campaign:
 	$(GO) run ./cmd/sweep -mode campaign -app gtc -procs 32 -mtbf 0.01,0.1,1
+
+validate-scenarios:
+	@for f in scenarios/*.json; do \
+		$(GO) run ./cmd/sweep -spec $$f -validate || exit 1; \
+	done
 
 check-docs:
 	@missing=0; for f in $$(grep -ohE '[A-Z]+\.md' doc.go README.md | sort -u); do \

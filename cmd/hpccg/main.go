@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -36,16 +37,9 @@ func main() {
 	flag.Parse()
 	asJSON = *jsonOut
 
-	var mode experiments.Mode
-	switch *modeName {
-	case "native":
-		mode = experiments.Native
-	case "classic":
-		mode = experiments.Classic
-	case "intra":
-		mode = experiments.Intra
-	default:
-		fmt.Fprintf(os.Stderr, "hpccg: unknown mode %q\n", *modeName)
+	mode, err := scenario.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpccg: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -88,11 +82,15 @@ func main() {
 }
 
 func run(mode experiments.Mode, logical int, cfg hpccg.Config, sched *fault.Schedule, report bool) sim.Time {
-	cluster := experiments.NewCluster(experiments.ClusterConfig{
+	cluster, err := experiments.NewCluster(experiments.ClusterConfig{
 		Logical: logical,
 		Mode:    mode,
 		SendLog: sched != nil,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpccg:", err)
+		os.Exit(1)
+	}
 	if sched != nil {
 		sched.Install(cluster.E, cluster.Sys)
 		for _, c := range sched.Crashes {

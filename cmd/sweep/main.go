@@ -1,7 +1,7 @@
 // Command sweep fans experiment grids out across all available cores, one
 // sim.Engine per worker, and reports results as aligned tables or JSON.
-//
-// Two front ends share the runner:
+// Every front end speaks the same language: the canonical scenario type of
+// internal/scenario.
 //
 // Figure mode regenerates the paper's evaluation in parallel:
 //
@@ -15,6 +15,15 @@
 //	sweep -app hpccg -modes native,classic,intra -procs 32,64,128
 //	sweep -app gtc -modes intra -procs 64 -degrees 2,3 -net eth10g -json
 //
+// Scenario-file mode loads a checked-in scenario file (a grid, an explicit
+// scenario list, or a figure reproduction — see scenarios/ and README.md),
+// validates it, expands it and runs it:
+//
+//	sweep -spec scenarios/fig5a.json
+//	sweep -spec scenarios/smoke.json -json
+//	sweep -spec scenarios/campaign-mtbf.json -mode campaign
+//	sweep -spec scenarios/fig5b.json -validate   # check without running
+//
 // Campaign mode layers Monte Carlo failure injection over the grid: per
 // scenario point it runs -trials seeded simulations with crash schedules
 // drawn from an exponential per-replica MTBF, and aggregates makespan,
@@ -24,42 +33,46 @@
 //	sweep -mode campaign -app hpccg -procs 16 -mtbf 0.05,0.2,1
 //	sweep -mode campaign -app gtc -modes intra -trials 200 -seed 7 -json
 //
-// Identical points inside one sweep are simulated once (content-keyed
-// memo); results keep the grid order regardless of the worker count, so
-// output is byte-identical to a -workers 1 run.
+// -list enumerates every registry: applications, figures, interconnect and
+// machine models. Identical points inside one sweep are simulated once
+// (content-keyed memo); results keep the grid order regardless of the
+// worker count, so output is byte-identical to a -workers 1 run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/perf"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
 
 func main() {
 	figures := flag.String("figures", "", "comma-separated figure ids, or 'all' (figure mode)")
-	app := flag.String("app", "", "application grid: hpccg | amg | gtc | minighost (grid mode)")
+	app := flag.String("app", "", "comma-separated application grid (grid mode; see -list)")
 	modesFlag := flag.String("modes", "native,classic,intra", "grid: comma-separated modes")
-	procsFlag := flag.String("procs", "64", "grid: comma-separated process counts (physical budget for hpccg, logical ranks for amg/gtc/minighost); figure mode: single override")
+	procsFlag := flag.String("procs", "64", "grid: comma-separated process counts (physical budget for weak-scaling apps, logical ranks otherwise); figure mode: single override")
 	degreesFlag := flag.String("degrees", "2", "grid: comma-separated replication degrees")
 	iters := flag.Int("iters", 0, "override solver iterations/steps (0 = default)")
 	tasks := flag.Int("tasks", 0, "grid: override tasks per section (0 = default)")
-	netName := flag.String("net", "ib20g", "grid: interconnect model ("+nameList(simnet.Nets)+")")
-	machineName := flag.String("machine", "grid5000", "grid: machine model ("+nameList(perf.Machines)+")")
+	netName := flag.String("net", "ib20g", "grid: interconnect model (see -list)")
+	machineName := flag.String("machine", "grid5000", "grid: machine model (see -list)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
-	list := flag.Bool("list", false, "list figure ids and exit")
-	modeFlag := flag.String("mode", "", "'campaign' runs Monte Carlo failure injection over the -app grid")
+	list := flag.Bool("list", false, "list registered apps, figures, nets and machines, then exit")
+	specFile := flag.String("spec", "", "run a scenario file (see scenarios/)")
+	validate := flag.Bool("validate", false, "with -spec: load, validate and expand the file, but do not run it")
+	modeFlag := flag.String("mode", "", "'campaign' runs Monte Carlo failure injection over the -app grid or the -spec file")
 	trials := flag.Int("trials", 100, "campaign: seeded trials per scenario point")
 	seed := flag.Int64("seed", 1, "campaign: master seed (trial seeds derive deterministically)")
 	mtbfFlag := flag.String("mtbf", "0.2", "campaign: comma-separated per-replica MTBF values in virtual seconds")
@@ -76,27 +89,72 @@ func main() {
 	}
 
 	if *list {
-		for _, id := range experiments.FigureIDs {
-			fmt.Printf("%-12s %s\n", id, experiments.FigureDescriptions[id])
-		}
+		listRegistries(os.Stdout)
 		return
 	}
 
+	if *modeFlag != "campaign" {
+		for _, flagName := range []string{"trials", "seed", "mtbf", "horizon", "ckpt-delta", "ckpt-restart"} {
+			if setFlags[flagName] {
+				fail("-%s requires -mode campaign", flagName)
+			}
+		}
+	}
+
+	ccfg := campaign.Config{
+		Trials: *trials, Seed: *seed, Workers: *workers,
+		Horizon: sim.Seconds(*horizon), CkptDelta: *ckptDelta, CkptRestart: *ckptRestart,
+	}
+
 	switch {
+	case *validate && *specFile == "":
+		fail("-validate needs a -spec file")
+	case *specFile != "":
+		for _, flagName := range []string{"figures", "app", "modes", "procs", "degrees",
+			"iters", "tasks", "net", "machine", "mtbf"} {
+			if setFlags[flagName] {
+				fail("-%s conflicts with -spec: the scenario file is the whole grid", flagName)
+			}
+		}
+		f, err := scenario.Load(*specFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *validate {
+			validateSpec(f)
+			return
+		}
+		switch *modeFlag {
+		case "":
+			if err := runSpecFile(os.Stdout, f, *workers, *jsonOut); err != nil {
+				fail("%v", err)
+			}
+		case "campaign":
+			if err := runCampaignSpec(os.Stdout, f, ccfg, *jsonOut); err != nil {
+				fail("%v", err)
+			}
+		default:
+			fail("unknown -mode %q (only 'campaign')", *modeFlag)
+		}
 	case *modeFlag == "campaign":
 		if *figures != "" {
 			fail("-mode campaign uses the -app grid, not -figures")
 		}
 		if *app == "" {
-			fail("-mode campaign needs an -app grid")
+			fail("-mode campaign needs an -app grid or a -spec file")
 		}
 		modes := *modesFlag
 		if !setFlags["modes"] {
 			modes = "classic,intra" // campaigns need replicas to crash
 		}
-		runCampaign(*app, modes, *procsFlag, *degreesFlag, *iters, *tasks,
-			*netName, *machineName, *workers,
-			*trials, *seed, *mtbfFlag, *horizon, *ckptDelta, *ckptRestart, *jsonOut)
+		scs, err := campaignGrid(*app, modes, *procsFlag, *degreesFlag, *iters, *tasks,
+			*netName, *machineName, *mtbfFlag)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := runCampaign(os.Stdout, ccfg, scs, *netName, *machineName, *jsonOut); err != nil {
+			fail("%v", err)
+		}
 	case *modeFlag != "":
 		fail("unknown -mode %q (only 'campaign')", *modeFlag)
 	case *figures != "" && *app != "":
@@ -113,10 +171,12 @@ func main() {
 		}
 		runFigures(*figures, procsOverride, *iters, *jsonOut)
 	case *app != "":
-		runGrid(*app, *modesFlag, *procsFlag, *degreesFlag, *iters, *tasks,
-			*netName, *machineName, *workers, *jsonOut)
+		g := gridFromFlags(*app, *modesFlag, *procsFlag, *degreesFlag, *iters, *tasks, *netName, *machineName)
+		if err := runGrid(os.Stdout, g, *workers, *jsonOut); err != nil {
+			fail("%v", err)
+		}
 	default:
-		fail("nothing to do: pass -figures or -app (see -h)")
+		fail("nothing to do: pass -figures, -app or -spec (see -h and -list)")
 	}
 }
 
@@ -125,13 +185,39 @@ func fail(format string, args ...any) {
 	os.Exit(2)
 }
 
-func nameList[V any](m map[string]V) string {
-	names := make([]string, 0, len(m))
-	for n := range m {
-		names = append(names, n)
+// listRegistries enumerates every registry the scenario layer knows about.
+func listRegistries(w io.Writer) {
+	fmt.Fprintln(w, "apps:")
+	for _, e := range scenario.Apps() {
+		fmt.Fprintf(w, "  %-12s %s\n", e.Name, e.Description)
 	}
-	sort.Strings(names)
-	return strings.Join(names, " | ")
+	fmt.Fprintln(w, "figures:")
+	for _, id := range experiments.FigureIDs {
+		fmt.Fprintf(w, "  %-12s %s\n", id, experiments.FigureDescriptions[id])
+	}
+	fmt.Fprintf(w, "nets:         %s\n", strings.Join(simnet.NetNames(), " | "))
+	fmt.Fprintf(w, "machines:     %s\n", strings.Join(perf.MachineNames(), " | "))
+}
+
+func validateSpec(f *scenario.File) {
+	scs, err := f.Expand()
+	if err != nil {
+		fail("%v", err)
+	}
+	if f.Figure != "" {
+		if _, err := experiments.FigureByID(f.Figure); err != nil {
+			fail("%v", err)
+		}
+	}
+	fmt.Printf("ok: %d scenarios\n", len(scs))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(f))
+	}
+	return out
 }
 
 func parseInts(s string) []int {
@@ -146,19 +232,26 @@ func parseInts(s string) []int {
 	return out
 }
 
-func parseModes(s string) []experiments.Mode {
-	var out []experiments.Mode
+func parseFloats(s string) []float64 {
+	var out []float64
 	for _, f := range strings.Split(s, ",") {
-		switch strings.TrimSpace(f) {
-		case "native":
-			out = append(out, experiments.Native)
-		case "classic":
-			out = append(out, experiments.Classic)
-		case "intra":
-			out = append(out, experiments.Intra)
-		default:
-			fail("unknown mode %q (native | classic | intra)", f)
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fail("bad float list %q", s)
 		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseModes(s string) []scenario.Mode {
+	var out []scenario.Mode
+	for _, f := range strings.Split(s, ",") {
+		m, err := scenario.ParseMode(strings.TrimSpace(f))
+		if err != nil {
+			fail("%v", err)
+		}
+		out = append(out, m)
 	}
 	return out
 }
@@ -188,7 +281,7 @@ func runFigures(sel, procsFlag string, iters int, jsonOut bool) {
 		tables = append(tables, t)
 	}
 	if jsonOut {
-		emitJSON(tables)
+		emitJSON(os.Stdout, tables)
 		return
 	}
 	for _, t := range tables {
@@ -196,144 +289,93 @@ func runFigures(sel, procsFlag string, iters int, jsonOut bool) {
 	}
 }
 
-// appFor binds the grid application to its paper configuration, with the
-// per-logical problem sizing each app's figure uses. For HPCCG (weak
-// scaling) the per-rank problem grows with the replication degree, so the
-// total logical work stays constant on an equal physical budget.
-func appFor(app string, mode experiments.Mode, degree, iters, tasks int) experiments.App {
-	switch app {
-	case "hpccg":
-		if iters <= 0 {
-			iters = 10
-		}
-		cfg := experiments.HPCCGPaperConfig(experiments.Native, iters, false)
-		if mode.Replicated() {
-			cfg.Nz *= degree
-		}
-		if tasks > 0 {
-			cfg.Tasks = tasks
-		}
-		return experiments.HPCCG(cfg)
-	case "amg":
-		cfg := experiments.Fig6aConfig()
-		if iters > 0 {
-			cfg.Iters = iters
-		}
-		if tasks > 0 {
-			cfg.Tasks = tasks
-		}
-		return experiments.AMG(cfg)
-	case "gtc":
-		cfg := experiments.Fig6cConfig()
-		if iters > 0 {
-			cfg.Steps = iters
-		}
-		if tasks > 0 {
-			cfg.Zones = tasks
-		}
-		return experiments.GTC(cfg)
-	case "minighost":
-		cfg := experiments.Fig6dConfig()
-		if iters > 0 {
-			cfg.Steps = iters
-		}
-		if tasks > 0 {
-			cfg.Tasks = tasks
-		}
-		return experiments.MiniGhost(cfg)
-	default:
-		fail("unknown app %q (hpccg | amg | gtc | minighost)", app)
-		return experiments.App{}
+// gridFromFlags is the declarative form of the grid flags: the same
+// scenario.Grid a scenario file would carry.
+func gridFromFlags(apps, modesFlag, procsFlag, degreesFlag string, iters, tasks int,
+	netName, machineName string) scenario.Grid {
+	return scenario.Grid{
+		Apps:    splitList(apps),
+		Modes:   parseModes(modesFlag),
+		Procs:   parseInts(procsFlag),
+		Degrees: parseInts(degreesFlag),
+		Nets:    []string{netName}, Machines: []string{machineName},
+		Iters: iters, Tasks: tasks,
 	}
 }
 
-// runGrid builds the cross product of the grid flags, sweeps it, and
-// reports one row per point with efficiency against the native run at the
-// same physical budget where the grid contains one.
-func runGrid(app, modesFlag, procsFlag, degreesFlag string, iters, tasks int,
-	netName, machineName string, workers int, jsonOut bool) {
-	net, ok := simnet.Nets[netName]
-	if !ok {
-		fail("unknown net %q (%s)", netName, nameList(simnet.Nets))
-	}
-	machine, ok := perf.Machines[machineName]
-	if !ok {
-		fail("unknown machine %q (%s)", machineName, nameList(perf.Machines))
-	}
-	modes := parseModes(modesFlag)
-	procs := parseInts(procsFlag)
-	degrees := parseInts(degreesFlag)
-
-	// Two comparison protocols, matching the paper's figures. HPCCG weak-
-	// scales (Fig 5): -procs is the physical budget, replicated modes run
-	// p/d logical ranks on a doubled per-rank problem, so total work is
-	// constant at equal resources. The fixed-size apps (Fig 6): -procs is
-	// the logical rank count, replicated modes take p*d physical procs.
-	weakScaling := app == "hpccg"
-
-	var specs []experiments.Spec
-	var groupOf []int // the -procs value each spec belongs to
-	for _, p := range procs {
-		for _, mode := range modes {
-			for _, d := range degrees {
-				if mode == experiments.Native && d != degrees[0] {
-					continue // native has no replicas; one spec per p
-				}
-				logical := p
-				name := fmt.Sprintf("%s/%s/p%d", app, mode, p)
-				if mode.Replicated() {
-					if weakScaling {
-						if p%d != 0 {
-							fail("-procs %d is not divisible by degree %d", p, d)
-						}
-						logical = p / d
-					}
-					name = fmt.Sprintf("%s/d%d", name, d)
-				}
-				if logical < 1 {
-					fail("%d processes cannot host degree %d replication", p, d)
-				}
-				specs = append(specs, experiments.Spec{
-					Name: name, Mode: mode, Logical: logical, Degree: d,
-					Net: net, Machine: machine,
-					App: appFor(app, mode, d, iters, tasks),
-				})
-				groupOf = append(groupOf, p)
-			}
-		}
-	}
-
-	results, err := experiments.SweepN(workers, specs)
+// runGrid expands the grid, sweeps it, and reports one row per point with
+// efficiency against the native run at the same physical budget where the
+// grid contains one. Scenario files carrying a grid go through the very
+// same path, so flag-built and file-built grids produce byte-identical
+// output.
+func runGrid(w io.Writer, g scenario.Grid, workers int, jsonOut bool) error {
+	scs, err := g.Expand()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		return err
 	}
+	return runScenarios(w, "sweep", strings.Join(g.Apps, ","), scs, workers, jsonOut)
+}
 
-	// Native baseline per -procs group, for the efficiency column.
-	baseline := map[int]*experiments.Measure{}
-	for i, r := range results {
-		if specs[i].Mode == experiments.Native {
-			baseline[groupOf[i]] = r.Measure
-		}
+// runScenarios sweeps any scenario list and reports it under the one
+// {net, machine, results} envelope, with platform labels derived from the
+// scenarios themselves.
+func runScenarios(w io.Writer, id, label string, scs []scenario.Scenario, workers int, jsonOut bool) error {
+	results, err := experiments.SweepScenarios(workers, scs)
+	if err != nil {
+		return err
 	}
-
+	netLabel, machineLabel := scenario.PlatformLabels(scs)
 	if jsonOut {
-		emitJSON(struct {
+		emitJSON(w, struct {
 			Net     string               `json:"net"`
 			Machine string               `json:"machine"`
 			Results []experiments.Result `json:"results"`
-		}{netName, machineName, results})
-		return
+		}{netLabel, machineLabel, results})
+		return nil
+	}
+	title := fmt.Sprintf("%s on %s / %s", label, netLabel, machineLabel)
+	fmt.Fprintln(w, scenarioTable(id, title, scs, results).String())
+	return nil
+}
+
+// baselineGroup keys the native-baseline lookup: scenarios of one app on
+// one platform with the same resource budget compare against each other.
+// Platform keys are normalized ("" and the default's explicit name key
+// together) and inline custom models key by content.
+func baselineGroup(sc scenario.Scenario) string {
+	budget := sc.Logical
+	if ent, err := scenario.AppByName(sc.App); err == nil && ent.WeakScaling {
+		budget = sc.PhysProcs()
+	}
+	net := scenario.PlatformLabel(sc.Net, simnet.DefaultNetName)
+	if sc.NetConfig != nil {
+		net = "custom:" + string(scenario.MustRaw(sc.NetConfig))
+	}
+	machine := scenario.PlatformLabel(sc.Machine, perf.DefaultMachineName)
+	if sc.MachineConfig != nil {
+		machine = "custom:" + string(scenario.MustRaw(sc.MachineConfig))
+	}
+	return fmt.Sprintf("%s|%s|%s|%d", sc.App, net, machine, budget)
+}
+
+// scenarioTable renders any scenario list's results with the grid-mode
+// columns.
+func scenarioTable(id, title string, scs []scenario.Scenario, results []experiments.Result) *experiments.Table {
+	baseline := map[string]*experiments.Measure{}
+	for i, r := range results {
+		if scs[i].Mode == scenario.Native {
+			baseline[baselineGroup(scs[i])] = r.Measure
+		}
 	}
 	t := &experiments.Table{
-		ID:    "sweep",
-		Title: fmt.Sprintf("%s on %s / %s", app, netName, machineName),
+		ID:    id,
+		Title: title,
 		Header: []string{"point", "mode", "logical", "phys", "time (s)",
 			"upd wait (s)", "efficiency", "memo"},
 	}
 	for i, r := range results {
 		eff := "-"
-		if native := baseline[groupOf[i]]; native != nil {
+		if native := baseline[baselineGroup(scs[i])]; native != nil {
 			eff = fmt.Sprintf("%.2f", experiments.Efficiency(native, r.Measure))
 		}
 		memo := ""
@@ -347,99 +389,148 @@ func runGrid(app, modesFlag, procsFlag, degreesFlag string, iters, tasks int,
 			eff, memo)
 	}
 	t.Note("efficiency is resource-normalized vs the native run of the same point; '-' when the grid has no native")
-	fmt.Println(t.String())
+	return t
 }
 
-func parseFloats(s string) []float64 {
-	var out []float64
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil || v <= 0 {
-			fail("bad float list %q", s)
+// runSpecFile runs a loaded scenario file: a figure reproduction when the
+// file binds one, the shared grid path for pure grid files, and a generic
+// scenario sweep otherwise.
+func runSpecFile(w io.Writer, f *scenario.File, workers int, jsonOut bool) error {
+	if f.Figure != "" {
+		scs, err := f.Expand()
+		if err != nil {
+			return err
 		}
-		out = append(out, v)
+		res, err := experiments.SweepScenarios(workers, scs)
+		if err != nil {
+			return err
+		}
+		t, err := experiments.RenderFigure(f.Figure, scs, res)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			emitJSON(w, []*experiments.Table{t})
+			return nil
+		}
+		fmt.Fprintln(w, t.String())
+		return nil
 	}
-	return out
+	if f.Grid != nil && len(f.Scenarios) == 0 {
+		return runGrid(w, *f.Grid, workers, jsonOut)
+	}
+	scs, err := f.Expand()
+	if err != nil {
+		return err
+	}
+	label := f.Name
+	if label == "" {
+		label = "scenario file"
+	}
+	return runScenarios(w, "spec", label, scs, workers, jsonOut)
 }
 
-// runCampaign builds the scenario grid (cross product of app grid flags and
-// -mtbf), runs cfg.Trials seeded failure injections per point through the
-// campaign engine, and reports the aggregates as a table or JSON.
-func runCampaign(app, modesFlag, procsFlag, degreesFlag string, iters, tasks int,
-	netName, machineName string, workers, trials int, seed int64,
-	mtbfFlag string, horizon, ckptDelta, ckptRestart float64, jsonOut bool) {
-	net, ok := simnet.Nets[netName]
-	if !ok {
-		fail("unknown net %q (%s)", netName, nameList(simnet.Nets))
-	}
-	machine, ok := perf.Machines[machineName]
-	if !ok {
-		fail("unknown machine %q (%s)", machineName, nameList(perf.Machines))
-	}
+// campaignGrid builds the campaign scenario grid from the grid flags and
+// the MTBF axis, using each app's registered paper protocol.
+func campaignGrid(apps, modesFlag, procsFlag, degreesFlag string, iters, tasks int,
+	netName, machineName, mtbfFlag string) ([]campaign.Scenario, error) {
 	modes := parseModes(modesFlag)
 	procs := parseInts(procsFlag)
 	degrees := parseInts(degreesFlag)
 	mtbfs := parseFloats(mtbfFlag)
 
-	// Same two comparison protocols as grid mode: HPCCG weak-scales (-procs
-	// is the physical budget; the native reference runs the full budget),
-	// the fixed-size apps pin the logical rank count.
-	weakScaling := app == "hpccg"
-
-	var scenarios []campaign.Scenario
-	for _, p := range procs {
-		for _, mode := range modes {
-			if !mode.Replicated() {
-				fail("campaign mode %s has no replicas to crash (use classic and/or intra)", mode)
-			}
-			for _, d := range degrees {
-				for _, m := range mtbfs {
-					logical := p
-					sc := campaign.Scenario{
-						Mode: mode, Degree: d, MTBF: sim.Seconds(m),
-						Net: net, Machine: machine,
-						App: appFor(app, mode, d, iters, tasks),
-					}
-					if weakScaling {
-						if p%d != 0 {
-							fail("-procs %d is not divisible by degree %d", p, d)
+	var out []campaign.Scenario
+	for _, appName := range splitList(apps) {
+		ent, err := scenario.AppByName(appName)
+		if err != nil {
+			return nil, err
+		}
+		if ent.Paper == nil {
+			return nil, fmt.Errorf("app %q has no paper grid binding", appName)
+		}
+		for _, p := range procs {
+			for _, mode := range modes {
+				if !mode.Replicated() {
+					return nil, fmt.Errorf("campaign mode %s has no replicas to crash (use classic and/or intra)", mode)
+				}
+				for _, d := range degrees {
+					for _, m := range mtbfs {
+						logical := p
+						cfg := ent.Paper(iters, tasks)
+						if ent.GrowPerDegree != nil {
+							ent.GrowPerDegree(cfg, d)
 						}
-						logical = p / d
-						sc.NativeApp = appFor(app, experiments.Native, d, iters, tasks)
-						sc.NativeLogical = p
+						sc := campaign.Scenario{MTBF: sim.Seconds(m)}
+						if ent.WeakScaling {
+							if p%d != 0 {
+								return nil, fmt.Errorf("-procs %d is not divisible by degree %d", p, d)
+							}
+							logical = p / d
+							// The native reference runs the full physical
+							// budget on the ungrown per-rank problem.
+							sc.Native = &scenario.Scenario{
+								App: appName, Config: scenario.MustRaw(ent.Paper(iters, tasks)),
+								Mode: scenario.Native, Logical: p,
+								Net: netName, Machine: machineName,
+							}
+						}
+						if logical < 1 {
+							return nil, fmt.Errorf("%d processes cannot host degree %d replication", p, d)
+						}
+						sc.Point = scenario.Scenario{
+							Name: fmt.Sprintf("%s/%s/p%d/d%d/mtbf%g", appName, mode, p, d, m),
+							App:  appName, Config: scenario.MustRaw(cfg),
+							Mode: mode, Logical: logical, Degree: d,
+							Net: netName, Machine: machineName,
+						}
+						out = append(out, sc)
 					}
-					if logical < 1 {
-						fail("%d processes cannot host degree %d replication", p, d)
-					}
-					sc.Logical = logical
-					sc.Name = fmt.Sprintf("%s/%s/p%d/d%d/mtbf%g", app, mode, p, d, m)
-					scenarios = append(scenarios, sc)
 				}
 			}
 		}
 	}
+	return out, nil
+}
 
-	res, err := campaign.Run(campaign.Config{
-		Trials: trials, Seed: seed, Workers: workers,
-		Horizon: sim.Seconds(horizon), CkptDelta: ckptDelta, CkptRestart: ckptRestart,
-	}, scenarios)
+// runCampaign executes the campaign grid and reports the aggregates.
+func runCampaign(w io.Writer, cfg campaign.Config, scs []campaign.Scenario,
+	netLabel, machineLabel string, jsonOut bool) error {
+	res, err := campaign.Run(cfg, scs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		return err
 	}
 	if jsonOut {
-		emitJSON(struct {
+		emitJSON(w, struct {
 			Net     string `json:"net"`
 			Machine string `json:"machine"`
 			*campaign.Result
-		}{netName, machineName, res})
-		return
+		}{netLabel, machineLabel, res})
+		return nil
 	}
-	fmt.Println(res.Table().String())
+	fmt.Fprintln(w, res.Table().String())
+	return nil
 }
 
-func emitJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
+// runCampaignSpec runs a scenario file whose points carry MTBF fault
+// models as a campaign.
+func runCampaignSpec(w io.Writer, f *scenario.File, cfg campaign.Config, jsonOut bool) error {
+	scs, err := f.Expand()
+	if err != nil {
+		return err
+	}
+	camp := make([]campaign.Scenario, len(scs))
+	for i, sc := range scs {
+		camp[i], err = campaign.FromScenario(sc)
+		if err != nil {
+			return err
+		}
+	}
+	netLabel, machineLabel := scenario.PlatformLabels(scs)
+	return runCampaign(w, cfg, camp, netLabel, machineLabel, jsonOut)
+}
+
+func emitJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestFlagGridAndSpecFileEquivalent is the sweep-equivalence property: the
+// grid built from CLI flags and the equivalent checked-in scenario file
+// (scenarios/smoke.json) produce byte-identical JSON results.
+func TestFlagGridAndSpecFileEquivalent(t *testing.T) {
+	// The flag path: exactly what `sweep -app hpccg -procs 8 -iters 3
+	// -json` builds.
+	g := gridFromFlags("hpccg", "native,classic,intra", "8", "2", 3, 0, "ib20g", "grid5000")
+	var fromFlags bytes.Buffer
+	if err := runGrid(&fromFlags, g, 1, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file path: `sweep -spec scenarios/smoke.json -json`.
+	f, err := scenario.Load("../../scenarios/smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromFile bytes.Buffer
+	if err := runSpecFile(&fromFile, f, 1, true); err != nil {
+		t.Fatal(err)
+	}
+
+	flagsJSON := zeroElapsed(t, fromFlags.String())
+	fileJSON := zeroElapsed(t, fromFile.String())
+	if flagsJSON != fileJSON {
+		t.Fatalf("flag grid and spec file diverge:\n%s\nvs\n%s", flagsJSON, fileJSON)
+	}
+}
+
+// zeroElapsed blanks the elapsed_ms lines — the only legitimately
+// run-dependent field — leaving every simulated value byte-comparable.
+func zeroElapsed(t *testing.T, s string) string {
+	t.Helper()
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, `"elapsed_ms"`) {
+			lines[i] = `      "elapsed_ms": 0,`
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestSpecFileWorkerIndependence reruns the smoke file fully parallel: the
+// JSON must match the serial run byte for byte (modulo elapsed_ms), the
+// property the CI job enforces via the real binary.
+func TestSpecFileWorkerIndependence(t *testing.T) {
+	f, err := scenario.Load("../../scenarios/smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial, parallel bytes.Buffer
+	if err := runSpecFile(&serial, f, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpecFile(&parallel, f, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	if zeroElapsed(t, serial.String()) != zeroElapsed(t, parallel.String()) {
+		t.Fatal("worker count changed the spec-file output")
+	}
+}

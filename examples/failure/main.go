@@ -18,11 +18,15 @@ import (
 )
 
 func main() {
-	cluster := experiments.NewCluster(experiments.ClusterConfig{
+	cluster, err := experiments.NewCluster(experiments.ClusterConfig{
 		Logical: 1,
 		Mode:    experiments.Intra,
 		SendLog: true,
 	})
+	if err != nil {
+		fmt.Println("cluster:", err)
+		return
+	}
 	cluster.Sys.Launch("fig2", func(p *replication.Proc) {
 		a, b := 1.0, 0.0
 		opts := core.Options{Mode: core.CopyRestore}

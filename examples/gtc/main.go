@@ -22,11 +22,14 @@ func main() {
 	cfg.Steps = 8
 
 	run := func(withFailures bool) (*gtc.Result, []fault.Crash) {
-		cluster := experiments.NewCluster(experiments.ClusterConfig{
+		cluster, err := experiments.NewCluster(experiments.ClusterConfig{
 			Logical: 4,
 			Mode:    experiments.Intra,
 			SendLog: true,
 		})
+		if err != nil {
+			panic(err) // the literal config above is always valid
+		}
 		var crashes []fault.Crash
 		if withFailures {
 			sched := fault.Exponential(4, 2, 300*sim.Microsecond, sim.Millisecond, 7)

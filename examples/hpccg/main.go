@@ -40,7 +40,11 @@ func main() {
 			c.Nz *= 2 // double the per-logical problem, as in §V-C
 		}
 		var res *hpccg.Result
-		cluster := experiments.NewCluster(experiments.ClusterConfig{Logical: logical, Mode: mode})
+		cluster, err := experiments.NewCluster(experiments.ClusterConfig{Logical: logical, Mode: mode})
+		if err != nil {
+			fmt.Println(mode, "cluster:", err)
+			continue
+		}
 		cluster.Launch(func(rt core.Runner) {
 			r, err := hpccg.Run(rt, c)
 			if err != nil {

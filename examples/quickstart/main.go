@@ -19,10 +19,14 @@ func main() {
 	const n = 1 << 16 // vector length
 	const tasks = 8   // paper default: 8 tasks per section
 
-	cluster := experiments.NewCluster(experiments.ClusterConfig{
+	cluster, err := experiments.NewCluster(experiments.ClusterConfig{
 		Logical: 1,
 		Mode:    experiments.Intra,
 	})
+	if err != nil {
+		fmt.Println("cluster:", err)
+		return
+	}
 	cluster.Launch(func(rt core.Runner) {
 		alpha, beta := 2.0, 3.0
 		x := make(core.Float64s, n)

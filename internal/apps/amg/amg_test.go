@@ -138,7 +138,7 @@ func TestSurvivesCrash(t *testing.T) {
 	ref, _ := runMode(t, experiments.Intra, 2, cfg)
 
 	results := map[int]*amg.Result{}
-	c := experiments.NewCluster(experiments.ClusterConfig{
+	c := newCluster(t, experiments.ClusterConfig{
 		Logical: 2, Mode: experiments.Intra, SendLog: true,
 	})
 	c.Launch(func(rt core.Runner) {
@@ -158,4 +158,15 @@ func TestSurvivesCrash(t *testing.T) {
 			t.Fatalf("rank %d residual after crash %v != %v", rank, res.Residual, ref[rank].Residual)
 		}
 	}
+}
+
+// newCluster builds a cluster from a known-good test config, failing the
+// test on a validation error.
+func newCluster(t *testing.T, cfg experiments.ClusterConfig) *experiments.Cluster {
+	t.Helper()
+	c, err := experiments.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

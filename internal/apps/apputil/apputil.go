@@ -8,6 +8,13 @@ import (
 	"repro/internal/sim"
 )
 
+// SizeDivisor shrinks per-axis grid extents of the paper-scale app configs
+// for laptop-scale runs while the cost model charges the paper-scale
+// problem (volume scales by its cube, halo planes by its square). 8 keeps
+// every figure run under a second of real time while preserving time
+// ratios.
+const SizeDivisor = 8
+
 // KernelTime is the accumulated wall time of one kernel, with the portion
 // spent waiting on update transfers after local tasks finished (the dashed
 // area of Figure 5a).

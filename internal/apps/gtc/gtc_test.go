@@ -93,7 +93,7 @@ func TestSurvivesCrashMidPush(t *testing.T) {
 	ref, _ := runMode(t, experiments.Intra, 2, cfg)
 
 	results := map[int]*gtc.Result{}
-	c := experiments.NewCluster(experiments.ClusterConfig{
+	c := newCluster(t, experiments.ClusterConfig{
 		Logical: 2, Mode: experiments.Intra, SendLog: true,
 	})
 	c.Launch(func(rt core.Runner) {
@@ -113,4 +113,15 @@ func TestSurvivesCrashMidPush(t *testing.T) {
 			t.Fatalf("rank %d energy after crash %v != %v", rank, res.FieldEnergy, ref[rank].FieldEnergy)
 		}
 	}
+}
+
+// newCluster builds a cluster from a known-good test config, failing the
+// test on a validation error.
+func newCluster(t *testing.T, cfg experiments.ClusterConfig) *experiments.Cluster {
+	t.Helper()
+	c, err := experiments.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

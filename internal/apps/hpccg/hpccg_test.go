@@ -131,7 +131,7 @@ func TestSurvivesReplicaCrashMidRun(t *testing.T) {
 
 	// Crash one replica of logical rank 1 mid-run.
 	results := map[int]*hpccg.Result{}
-	c := experiments.NewCluster(experiments.ClusterConfig{
+	c := newCluster(t, experiments.ClusterConfig{
 		Logical: 2,
 		Mode:    experiments.Intra,
 		SendLog: true,
@@ -186,4 +186,15 @@ func TestPlaneScaleInflatesHaloCost(t *testing.T) {
 		t.Fatalf("halo cost did not scale: %v vs %v",
 			big[0].Kernels["halo"].Wall, small[0].Kernels["halo"].Wall)
 	}
+}
+
+// newCluster builds a cluster from a known-good test config, failing the
+// test on a validation error.
+func newCluster(t *testing.T, cfg experiments.ClusterConfig) *experiments.Cluster {
+	t.Helper()
+	c, err := experiments.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

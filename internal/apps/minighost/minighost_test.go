@@ -87,7 +87,7 @@ func TestSurvivesCrash(t *testing.T) {
 	ref, _ := runMode(t, experiments.Intra, 2, cfg)
 
 	results := map[int]*minighost.Result{}
-	c := experiments.NewCluster(experiments.ClusterConfig{
+	c := newCluster(t, experiments.ClusterConfig{
 		Logical: 2, Mode: experiments.Intra, SendLog: true,
 	})
 	c.Launch(func(rt core.Runner) {
@@ -107,4 +107,15 @@ func TestSurvivesCrash(t *testing.T) {
 			t.Fatalf("rank %d checksum after crash %v != %v", rank, res.Checksum, ref[rank].Checksum)
 		}
 	}
+}
+
+// newCluster builds a cluster from a known-good test config, failing the
+// test on a validation error.
+func newCluster(t *testing.T, cfg experiments.ClusterConfig) *experiments.Cluster {
+	t.Helper()
+	c, err := experiments.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

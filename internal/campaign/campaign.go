@@ -24,34 +24,104 @@ import (
 	"math"
 
 	"repro/internal/ckpt"
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
-	"repro/internal/perf"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/simnet"
 )
 
-// Scenario is one point of the campaign grid: an application under a
-// replicated fault-tolerance mode on a platform, subjected to an
-// exponential per-replica failure process of mean MTBF.
+// Scenario is one point of the campaign grid: a canonical scenario under a
+// replicated fault-tolerance mode, subjected to an exponential per-replica
+// failure process of mean MTBF. The campaign layer is a thin adapter over
+// scenario.Scenario: every reference and trial run goes through
+// experiments.SpecFor.
 type Scenario struct {
-	Name    string
-	Mode    experiments.Mode // must be replicated (Classic or Intra)
-	Logical int              // logical MPI ranks
-	Degree  int              // replication degree (0 = default 2)
-	MTBF    sim.Time         // per-replica mean time between failures
-	Net     simnet.Config
-	Machine perf.Machine
-	Opts    core.Options
-	App     experiments.App
+	// Point is the replicated scenario the failures perturb, in its
+	// fault-free form (its Fault field must be empty; the campaign draws
+	// the schedules).
+	Point scenario.Scenario
+	// MTBF is the per-replica mean time between failures.
+	MTBF sim.Time
+	// Horizon overrides Config.Horizon for this scenario (0 = inherit).
+	Horizon sim.Time
 
-	// NativeApp / NativeLogical override the unreplicated reference run
-	// used for the resource-normalized efficiency metric. The zero values
-	// reuse App and Logical (the Figure 6 constant-problem protocol);
-	// weak-scaling campaigns (HPCCG, Figure 5) set both.
-	NativeApp     experiments.App
-	NativeLogical int
+	// Native optionally overrides the unreplicated reference run used for
+	// the resource-normalized efficiency metric. Nil derives it from Point
+	// (same app/config/platform in native mode: the Figure 6
+	// constant-problem protocol); weak-scaling campaigns (HPCCG, Figure 5)
+	// set it to the full physical budget on the ungrown problem.
+	Native *scenario.Scenario
+}
+
+// FromScenario adapts a scenario-file point carrying an MTBF fault model
+// (fault.mtbf_seconds > 0) into a campaign scenario. For weak-scaling apps
+// it reconstructs the CLI grid's native reference — the full physical
+// budget on the degree-shrunk per-rank problem — so the efficiency
+// baseline is identical whether a point came from flags or from a file.
+func FromScenario(sc scenario.Scenario) (Scenario, error) {
+	if sc.Fault == nil || sc.Fault.MTBFSeconds <= 0 {
+		return Scenario{}, fmt.Errorf("campaign: scenario %q has no MTBF fault model", sc.Name)
+	}
+	if len(sc.Fault.Crashes) > 0 {
+		return Scenario{}, fmt.Errorf("campaign: scenario %q mixes explicit crashes with an MTBF", sc.Name)
+	}
+	out := Scenario{
+		MTBF:    sim.Seconds(sc.Fault.MTBFSeconds),
+		Horizon: sim.Seconds(sc.Fault.HorizonSeconds),
+	}
+	sc.Fault = nil
+	out.Point = sc
+	native, err := weakScalingNative(sc)
+	if err != nil {
+		return Scenario{}, err
+	}
+	out.Native = native
+	return out, nil
+}
+
+// weakScalingNative builds the weak-scaling native reference of a point,
+// or nil for fixed-size apps (whose reference is the point itself in
+// native mode).
+func weakScalingNative(sc scenario.Scenario) (*scenario.Scenario, error) {
+	ent, err := scenario.AppByName(sc.App)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if !ent.WeakScaling || ent.ShrinkPerDegree == nil {
+		return nil, nil
+	}
+	cfg, err := sc.AppConfig()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	d := sc.EffectiveDegree()
+	if err := ent.ShrinkPerDegree(cfg, d); err != nil {
+		return nil, fmt.Errorf("campaign: scenario %q: %w", sc.Name, err)
+	}
+	return &scenario.Scenario{
+		App: sc.App, Config: scenario.MustRaw(cfg),
+		Mode: scenario.Native, Logical: sc.Logical * d,
+		Net: sc.Net, Machine: sc.Machine,
+		NetConfig: sc.NetConfig, MachineConfig: sc.MachineConfig,
+	}, nil
+}
+
+// nativeScenario is the unreplicated reference of the point.
+func (sc Scenario) nativeScenario() scenario.Scenario {
+	if sc.Native != nil {
+		n := *sc.Native
+		if n.Name == "" {
+			n.Name = sc.Point.Name + "/native"
+		}
+		return n
+	}
+	n := sc.Point
+	n.Name = sc.Point.Name + "/native"
+	n.Mode = scenario.Native
+	n.Degree = 0
+	n.Intra = nil
+	n.Fault = nil
+	return n
 }
 
 // Config are the campaign-wide knobs.
@@ -192,30 +262,34 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 		return nil, fmt.Errorf("campaign: no scenarios")
 	}
 	for _, sc := range scenarios {
-		if !sc.Mode.Replicated() {
-			return nil, fmt.Errorf("campaign: scenario %q: mode %s is not replicated", sc.Name, sc.Mode)
+		if !sc.Point.Mode.Replicated() {
+			return nil, fmt.Errorf("campaign: scenario %q: mode %s is not replicated", sc.Point.Name, sc.Point.Mode)
 		}
 		if sc.MTBF <= 0 {
-			return nil, fmt.Errorf("campaign: scenario %q: MTBF must be positive", sc.Name)
+			return nil, fmt.Errorf("campaign: scenario %q: MTBF must be positive", sc.Point.Name)
+		}
+		if f := sc.Point.Fault; f != nil && (f.MTBFSeconds > 0 || len(f.Crashes) > 0) {
+			return nil, fmt.Errorf("campaign: scenario %q: carry the fault model in Scenario.MTBF, not the point", sc.Point.Name)
 		}
 	}
 
-	// Phase 1: fault-free references. Spec order fixes result order.
+	// Phase 1: fault-free references. Spec order fixes result order. The
+	// point's spec doubles as the trial template of phase 2, so every
+	// scenario is validated and decoded exactly once.
 	base := make([]experiments.Spec, 0, 2*len(scenarios))
-	for _, sc := range scenarios {
-		nativeApp, nativeLogical := sc.NativeApp, sc.NativeLogical
-		if nativeApp.Name == "" {
-			nativeApp = sc.App
+	templates := make([]experiments.Spec, len(scenarios))
+	for i, sc := range scenarios {
+		native, err := experiments.SpecFor(sc.nativeScenario())
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
 		}
-		if nativeLogical == 0 {
-			nativeLogical = sc.Logical
+		ff, err := experiments.SpecFor(sc.Point)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
 		}
-		base = append(base,
-			experiments.Spec{Name: sc.Name + "/native", Mode: experiments.Native,
-				Logical: nativeLogical, Net: sc.Net, Machine: sc.Machine, App: nativeApp},
-			experiments.Spec{Name: sc.Name + "/fault-free", Mode: sc.Mode,
-				Logical: sc.Logical, Degree: sc.Degree, Opts: sc.Opts,
-				Net: sc.Net, Machine: sc.Machine, App: sc.App})
+		templates[i] = ff
+		ff.Name = sc.Point.Name + "/fault-free"
+		base = append(base, native, ff)
 	}
 	baseRes, err := experiments.SweepN(cfg.Workers, base)
 	if err != nil {
@@ -224,29 +298,29 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 
 	// Phase 2: draw and run the trials, one Spec each, all scenarios in a
 	// single sweep so the pool stays saturated across the whole grid.
-	degreeOf := func(sc Scenario) int {
-		if sc.Degree == 0 {
-			return 2
-		}
-		return sc.Degree
-	}
 	var specs []experiments.Spec
 	draws := make([][]fault.Draw, len(scenarios))
+	// Horizon resolution happens exactly once per scenario: the draws and
+	// the reported HorizonSeconds must describe the same window.
+	horizons := make([]sim.Time, len(scenarios))
 	for i, sc := range scenarios {
-		horizon := cfg.Horizon
+		horizon := sc.Horizon
+		if horizon == 0 {
+			horizon = cfg.Horizon
+		}
 		if horizon == 0 {
 			horizon = baseRes[2*i+1].Measure.Wall
 		}
+		horizons[i] = horizon
 		draws[i] = make([]fault.Draw, trials)
 		for t := 0; t < trials; t++ {
-			d := fault.ExponentialDraw(sc.Logical, degreeOf(sc), sc.MTBF, horizon, fault.TrialSeed(cfg.Seed, i, t))
+			d := fault.ExponentialDraw(sc.Point.Logical, sc.Point.EffectiveDegree(), sc.MTBF, horizons[i],
+				fault.TrialSeed(cfg.Seed, i, t))
 			draws[i][t] = d
-			specs = append(specs, experiments.Spec{
-				Name: fmt.Sprintf("%s/t%03d", sc.Name, t), Mode: sc.Mode,
-				Logical: sc.Logical, Degree: sc.Degree, Opts: sc.Opts,
-				Net: sc.Net, Machine: sc.Machine, App: sc.App,
-				Fault: d.Schedule,
-			})
+			spec := templates[i]
+			spec.Name = fmt.Sprintf("%s/t%03d", sc.Point.Name, t)
+			spec.Fault = d.Schedule
+			specs = append(specs, spec)
 		}
 	}
 	trialRes, err := experiments.SweepN(cfg.Workers, specs)
@@ -260,10 +334,6 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 		native, ff := baseRes[2*i], baseRes[2*i+1]
 		ffWall := ff.Measure.Wall.Seconds()
 		ffEff := experiments.Efficiency(native.Measure, ff.Measure)
-		horizon := cfg.Horizon
-		if horizon == 0 {
-			horizon = ff.Measure.Wall
-		}
 
 		walls := make([]float64, trials)
 		slowdowns := make([]float64, trials)
@@ -303,10 +373,10 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 		phys := ff.PhysProcs
 		mtbfS := sc.MTBF.Seconds()
 		out.Scenarios = append(out.Scenarios, ScenarioResult{
-			Name: sc.Name, App: sc.App.Name, Mode: sc.Mode.String(),
-			Logical: sc.Logical, Degree: degreeOf(sc), PhysProcs: phys,
+			Name: sc.Point.Name, App: sc.Point.App, Mode: sc.Point.Mode.String(),
+			Logical: sc.Point.Logical, Degree: sc.Point.EffectiveDegree(), PhysProcs: phys,
 			MTBFSeconds: mtbfS, Trials: trials,
-			HorizonSeconds:       horizon.Seconds(),
+			HorizonSeconds:       horizons[i].Seconds(),
 			FaultFreeWallSeconds: ffWall,
 			NativeWallSeconds:    native.Measure.Wall.Seconds(),
 			FaultFreeEfficiency:  ffEff,
@@ -320,7 +390,7 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 				CkptRestartSeconds:       restart,
 				SystemMTBFSeconds:        mtbfS / float64(phys),
 				CCREfficiency:            ckpt.BestEfficiency(delta, restart, mtbfS/float64(phys)),
-				ReplEfficiency:           ckpt.ReplicatedEfficiency(ffEff, sc.Logical, mtbfS, delta, restart),
+				ReplEfficiency:           ckpt.ReplicatedEfficiency(ffEff, sc.Point.Logical, mtbfS, delta, restart),
 				CrossoverNodeMTBFSeconds: ckpt.CrossoverMTBF(delta, restart, ffEff) * float64(phys),
 			},
 		})

@@ -7,26 +7,27 @@ import (
 
 	"repro/internal/apps/hpccg"
 	"repro/internal/campaign"
-	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
-func smallApp() experiments.App {
-	return experiments.HPCCG(hpccg.Config{
-		Nx: 8, Ny: 8, Nz: 8, Iters: 3, Tasks: 8,
-		Scale: 64, PlaneScale: 16,
-		IntraDdot: true, IntraSparsemv: true,
-	})
+func smallPoint(name string, mode scenario.Mode) scenario.Scenario {
+	return scenario.Scenario{
+		Name: name, App: "hpccg",
+		Config: scenario.MustRaw(hpccg.Config{
+			Nx: 8, Ny: 8, Nz: 8, Iters: 3, Tasks: 8,
+			Scale: 64, PlaneScale: 16,
+			IntraDdot: true, IntraSparsemv: true,
+		}),
+		Mode: mode, Logical: 2,
+	}
 }
 
 func smallScenarios() []campaign.Scenario {
 	return []campaign.Scenario{
-		{Name: "intra/lowMTBF", Mode: experiments.Intra, Logical: 2,
-			MTBF: 100 * sim.Millisecond, App: smallApp()},
-		{Name: "intra/highMTBF", Mode: experiments.Intra, Logical: 2,
-			MTBF: 1000 * sim.Second, App: smallApp()},
-		{Name: "classic/lowMTBF", Mode: experiments.Classic, Logical: 2,
-			MTBF: 100 * sim.Millisecond, App: smallApp()},
+		{Point: smallPoint("intra/lowMTBF", scenario.Intra), MTBF: 100 * sim.Millisecond},
+		{Point: smallPoint("intra/highMTBF", scenario.Intra), MTBF: 1000 * sim.Second},
+		{Point: smallPoint("classic/lowMTBF", scenario.Classic), MTBF: 100 * sim.Millisecond},
 	}
 }
 
@@ -150,8 +151,7 @@ func TestCampaignAggregates(t *testing.T) {
 func TestCampaignHorizonBeyondMakespan(t *testing.T) {
 	res, err := campaign.Run(campaign.Config{
 		Trials: 10, Seed: 5, Horizon: 1000 * sim.Second,
-	}, []campaign.Scenario{{Name: "far-horizon", Mode: experiments.Intra,
-		Logical: 2, MTBF: 100 * sim.Second, App: smallApp()}})
+	}, []campaign.Scenario{{Point: smallPoint("far-horizon", scenario.Intra), MTBF: 100 * sim.Second}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,18 +169,76 @@ func TestCampaignHorizonBeyondMakespan(t *testing.T) {
 // configuration errors, not panics.
 func TestCampaignRejectsBadScenarios(t *testing.T) {
 	_, err := campaign.Run(campaign.Config{Trials: 1},
-		[]campaign.Scenario{{Name: "bad", Mode: experiments.Native, Logical: 2,
-			MTBF: sim.Second, App: smallApp()}})
+		[]campaign.Scenario{{Point: smallPoint("bad", scenario.Native), MTBF: sim.Second}})
 	if err == nil || !strings.Contains(err.Error(), "not replicated") {
 		t.Fatalf("native scenario: got %v", err)
 	}
 	_, err = campaign.Run(campaign.Config{Trials: 1},
-		[]campaign.Scenario{{Name: "bad", Mode: experiments.Intra, Logical: 2, App: smallApp()}})
+		[]campaign.Scenario{{Point: smallPoint("bad", scenario.Intra)}})
 	if err == nil || !strings.Contains(err.Error(), "MTBF") {
 		t.Fatalf("zero MTBF: got %v", err)
 	}
 	if _, err := campaign.Run(campaign.Config{Trials: 1}, nil); err == nil {
 		t.Fatal("empty grid must error")
+	}
+	// A point that carries its own fault model conflicts with the
+	// campaign's draws.
+	faulty := smallPoint("bad", scenario.Intra)
+	faulty.Fault = &scenario.FaultSpec{MTBFSeconds: 0.5}
+	_, err = campaign.Run(campaign.Config{Trials: 1},
+		[]campaign.Scenario{{Point: faulty, MTBF: sim.Second}})
+	if err == nil || !strings.Contains(err.Error(), "fault model") {
+		t.Fatalf("fault-carrying point: got %v", err)
+	}
+}
+
+// TestFromScenario adapts scenario-file points: the MTBF moves out of the
+// fault model, and weak-scaling apps get the CLI grid's native reference
+// (full physical budget, degree-shrunk problem) so both entry paths share
+// one efficiency baseline.
+func TestFromScenario(t *testing.T) {
+	pt := smallPoint("hpccg/file-point", scenario.Intra)
+	pt.Fault = &scenario.FaultSpec{MTBFSeconds: 0.25, HorizonSeconds: 2}
+	sc, err := campaign.FromScenario(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.MTBF != 250*sim.Millisecond || sc.Horizon != 2*sim.Second {
+		t.Fatalf("fault model not lifted: MTBF %v horizon %v", sc.MTBF, sc.Horizon)
+	}
+	if sc.Point.Fault != nil {
+		t.Fatal("the point must shed its fault model")
+	}
+	if sc.Native == nil {
+		t.Fatal("weak-scaling apps need the native reference")
+	}
+	if sc.Native.Mode != scenario.Native || sc.Native.Logical != 2*pt.Logical {
+		t.Fatalf("native reference must run the full physical budget: %+v", sc.Native)
+	}
+	ncfg, err := sc.Native.AppConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg, err := sc.Point.AppConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ncfg.(*hpccg.Config).Nz, pcfg.(*hpccg.Config).Nz/2; got != want {
+		t.Fatalf("native per-rank problem must be degree-shrunk: Nz %d, want %d", got, want)
+	}
+
+	gtcPt := scenario.Scenario{Name: "gtc/file-point", App: "gtc", Mode: scenario.Intra,
+		Logical: 4, Fault: &scenario.FaultSpec{MTBFSeconds: 0.1}}
+	sc, err = campaign.FromScenario(gtcPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Native != nil {
+		t.Fatal("fixed-size apps use the constant-problem reference (nil Native)")
+	}
+
+	if _, err := campaign.FromScenario(smallPoint("no-fault", scenario.Intra)); err == nil {
+		t.Fatal("a point without an MTBF cannot join a campaign")
 	}
 }
 

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/apps/hpccg"
-	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 // AblationTaskGranularity sweeps the number of tasks per section on HPCCG
@@ -12,31 +12,52 @@ import (
 // transfer/compute overlap, more tasks add synchronization overhead). The
 // native baseline and every granularity run through one parallel sweep.
 func AblationTaskGranularity(physProcs int) (*Table, error) {
-	iters := 10
-	taskCounts := []int{1, 2, 4, 8, 16, 32, 64}
-	specs := []Spec{{Name: "granularity/native", Mode: Native, Logical: physProcs,
-		App: HPCCG(HPCCGPaperConfig(Native, iters, false))}}
-	for _, tasks := range taskCounts {
-		cfg := HPCCGPaperConfig(Intra, iters, false)
+	return figures["granularity"].Run(physProcs, 0)
+}
+
+var granularityTaskCounts = []int{1, 2, 4, 8, 16, 32, 64}
+
+func granularityScenarios(procs, iters int) ([]scenario.Scenario, error) {
+	physProcs := orDefault(procs, 64)
+	iters = orDefault(iters, 10)
+	scs := []scenario.Scenario{{
+		Name: "granularity/native", App: "hpccg",
+		Config: scenario.MustRaw(hpccg.PaperConfig(false, iters, false)),
+		Mode:   Native, Logical: physProcs,
+	}}
+	for _, tasks := range granularityTaskCounts {
+		cfg := hpccg.PaperConfig(true, iters, false)
 		cfg.Tasks = tasks
-		specs = append(specs, Spec{
-			Name: fmt.Sprintf("granularity/%d", tasks), Mode: Intra, Logical: physProcs / 2,
-			App: HPCCG(cfg),
+		scs = append(scs, scenario.Scenario{
+			Name: fmt.Sprintf("granularity/%d", tasks), App: "hpccg",
+			Config: scenario.MustRaw(cfg),
+			Mode:   Intra, Logical: physProcs / 2,
 		})
 	}
-	ms, err := sweepMeasures(specs...)
-	if err != nil {
-		return nil, err
+	return scs, nil
+}
+
+func granularityRender(scs []scenario.Scenario, res []Result) (*Table, error) {
+	if len(res) < 2 || len(scs) != len(res) {
+		return nil, fmt.Errorf("granularity renders a native point plus task counts, got %d points", len(res))
 	}
+	ms := measures(res)
 	native := ms[0]
 	t := &Table{
 		ID:     "granularity",
-		Title:  fmt.Sprintf("Ablation: tasks per section (HPCCG, %d physical processes)", physProcs),
+		Title:  fmt.Sprintf("Ablation: tasks per section (HPCCG, %d physical processes)", native.PhysProcs),
 		Header: []string{"tasks/section", "intra time (s)", "efficiency", "update wait (s)"},
 	}
-	for i, tasks := range taskCounts {
-		m := ms[i+1]
-		t.AddRow(fmt.Sprintf("%d", tasks), secs(m.AppTotal),
+	for i, m := range ms[1:] {
+		cfg, err := scs[i+1].AppConfig()
+		if err != nil {
+			return nil, err
+		}
+		hc, ok := cfg.(*hpccg.Config)
+		if !ok {
+			return nil, fmt.Errorf("granularity renders hpccg points, got %q", scs[i+1].App)
+		}
+		t.AddRow(fmt.Sprintf("%d", hc.Tasks), secs(m.AppTotal),
 			fmt.Sprintf("%.3f", Efficiency(native, m)),
 			secs(m.Stats.UpdateWait))
 	}
@@ -48,28 +69,40 @@ func AblationTaskGranularity(physProcs int) (*Table, error) {
 // hazard — copy-on-receive vs atomic update application — on GTC, the
 // application with inout task arguments (§III-B2 claims similar cost).
 func AblationInoutMode(physProcs int) (*Table, error) {
-	app := GTC(Fig6cConfig())
-	modes := []core.InoutMode{core.CopyRestore, core.AtomicApply}
-	var specs []Spec
-	for _, mode := range modes {
-		specs = append(specs, Spec{
-			Name: "inout/" + mode.String(), Mode: Intra, Logical: physProcs / 2,
-			Opts: core.Options{Mode: mode}, App: app,
+	return figures["inout"].Run(physProcs, 0)
+}
+
+func inoutScenarios(procs, iters int) ([]scenario.Scenario, error) {
+	physProcs := orDefault(procs, 64)
+	raw := scenario.MustRaw(Fig6cConfig())
+	var scs []scenario.Scenario
+	for _, mode := range []string{"copy", "atomic"} {
+		scs = append(scs, scenario.Scenario{
+			Name: "inout/" + mode, App: "gtc", Config: raw,
+			Mode: Intra, Logical: physProcs / 2,
+			Intra: &scenario.IntraOptions{Inout: mode},
 		})
 	}
-	ms, err := sweepMeasures(specs...)
-	if err != nil {
-		return nil, err
+	return scs, nil
+}
+
+func inoutRender(scs []scenario.Scenario, res []Result) (*Table, error) {
+	if len(res) != 2 || len(scs) != len(res) {
+		return nil, fmt.Errorf("inout renders 2 points, got %d", len(res))
 	}
+	ms := measures(res)
 	t := &Table{
 		ID:     "inout",
-		Title:  fmt.Sprintf("Ablation: inout protection mode (GTC, %d logical processes)", physProcs/2),
+		Title:  fmt.Sprintf("Ablation: inout protection mode (GTC, %d logical processes)", scs[0].Logical),
 		Header: []string{"mode", "time (s)", "copy overhead (s)", "copy/section"},
 	}
-	for i, mode := range modes {
-		m := ms[i]
+	for i, m := range ms {
+		label := "copy" // an omitted intra block runs the copy-restore default
+		if scs[i].Intra != nil && scs[i].Intra.Inout != "" {
+			label = scs[i].Intra.Inout
+		}
 		frac := float64(m.Stats.CopyTime) / float64(m.Stats.SectionTime)
-		t.AddRow(mode.String(), secs(m.AppTotal), secs(m.Stats.CopyTime),
+		t.AddRow(label, secs(m.AppTotal), secs(m.Stats.CopyTime),
 			fmt.Sprintf("%.1f%%", 100*frac))
 	}
 	t.Note("paper (§III-B2): both solutions have similar cost")
@@ -84,33 +117,44 @@ func AblationInoutMode(physProcs int) (*Table, error) {
 // d-fold while the resource bill grows d-fold and the replicated parts
 // are never shared.
 func AblationDegree(logical int) (*Table, error) {
-	cfg := hpccg.Config{
+	return figures["degree"].Run(logical, 0)
+}
+
+var ablationDegrees = []int{2, 3}
+
+func degreeScenarios(procs, iters int) ([]scenario.Scenario, error) {
+	logical := orDefault(procs, 32)
+	raw := scenario.MustRaw(hpccg.Config{
 		Nx: 16, Ny: 16, Nz: 16, Iters: 10, Tasks: 12,
 		Scale: 512, PlaneScale: 64,
 		IntraDdot: true, IntraSparsemv: true,
-	}
-	app := HPCCG(cfg)
-	degrees := []int{2, 3}
-	specs := []Spec{{Name: "degree/native", Mode: Native, Logical: logical, App: app}}
-	for _, d := range degrees {
-		specs = append(specs, Spec{
-			Name: fmt.Sprintf("degree/%d", d), Mode: Intra, Logical: logical, Degree: d, App: app,
+	})
+	scs := []scenario.Scenario{{
+		Name: "degree/native", App: "hpccg", Config: raw, Mode: Native, Logical: logical,
+	}}
+	for _, d := range ablationDegrees {
+		scs = append(scs, scenario.Scenario{
+			Name: fmt.Sprintf("degree/%d", d), App: "hpccg", Config: raw,
+			Mode: Intra, Logical: logical, Degree: d,
 		})
 	}
-	ms, err := sweepMeasures(specs...)
-	if err != nil {
-		return nil, err
+	return scs, nil
+}
+
+func degreeRender(scs []scenario.Scenario, res []Result) (*Table, error) {
+	if len(res) < 2 || len(scs) != len(res) {
+		return nil, fmt.Errorf("degree renders a native point plus degrees, got %d points", len(res))
 	}
+	ms := measures(res)
 	native := ms[0]
 	t := &Table{
 		ID:     "degree",
-		Title:  fmt.Sprintf("Extension: replication degree (HPCCG, %d logical processes, constant problem)", logical),
+		Title:  fmt.Sprintf("Extension: replication degree (HPCCG, %d logical processes, constant problem)", scs[0].Logical),
 		Header: []string{"degree", "phys procs", "time (s)", "efficiency"},
 	}
 	t.AddRow("1 (native)", fmt.Sprintf("%d", native.PhysProcs), secs(native.AppTotal), "1.00")
-	for i, d := range degrees {
-		m := ms[i+1]
-		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", m.PhysProcs),
+	for i, m := range ms[1:] {
+		t.AddRow(fmt.Sprintf("%d", scs[i+1].Degree), fmt.Sprintf("%d", m.PhysProcs),
 			secs(m.AppTotal), fmt.Sprintf("%.2f", Efficiency(native, m)))
 	}
 	t.Note("degree 2 tolerates any single failure per logical rank; degree 3 buys little speedup for 1.5x the resources (§II)")

@@ -2,7 +2,9 @@
 // simulated clusters, runs the benchmark applications under the three
 // configurations of the paper (native Open MPI, classic active replication
 // à la SDR-MPI, and intra-parallelization), and regenerates every figure
-// of §V as a table.
+// of §V as a table. All experiment points are described by the canonical
+// scenario.Scenario type; this package is the runtime that turns scenarios
+// into simulations.
 package experiments
 
 import (
@@ -12,35 +14,21 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/perf"
 	"repro/internal/replication"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
 
-// Mode selects the fault-tolerance configuration, matching the three bar
-// groups of the paper's figures.
-type Mode int
+// Mode is the canonical fault-tolerance mode (scenario.Mode), re-exported
+// so experiment code reads naturally.
+type Mode = scenario.Mode
 
 // Modes of the evaluation.
 const (
-	Native  Mode = iota // unreplicated Open MPI baseline
-	Classic             // SDR-MPI: classic state-machine replication
-	Intra               // replication with intra-parallelization
+	Native  = scenario.Native  // unreplicated Open MPI baseline
+	Classic = scenario.Classic // SDR-MPI: classic state-machine replication
+	Intra   = scenario.Intra   // replication with intra-parallelization
 )
-
-func (m Mode) String() string {
-	switch m {
-	case Native:
-		return "Open MPI"
-	case Classic:
-		return "SDR-MPI"
-	case Intra:
-		return "intra"
-	}
-	return "?"
-}
-
-// Replicated reports whether the mode uses process replication.
-func (m Mode) Replicated() bool { return m != Native }
 
 // ClusterConfig describes one experiment's platform and mode.
 type ClusterConfig struct {
@@ -66,19 +54,30 @@ type Cluster struct {
 	Sys *replication.System // nil in native mode
 }
 
-// NewCluster builds the simulated platform for cfg.
-func NewCluster(cfg ClusterConfig) *Cluster {
+// NewCluster builds the simulated platform for cfg. The zero values of Net
+// and Machine select the paper's platform independently (a config may
+// override just one of them); a partially-specified custom model is an
+// error, never silently swapped for the default.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if !cfg.Mode.Known() {
+		return nil, fmt.Errorf("experiments: unknown mode %d", int(cfg.Mode))
+	}
+	if cfg.Logical < 1 {
+		return nil, fmt.Errorf("experiments: cluster needs at least 1 logical rank, got %d", cfg.Logical)
+	}
 	if cfg.Degree == 0 {
-		cfg.Degree = 2
+		cfg.Degree = scenario.DefaultDegree
 	}
-	// Net and Machine default independently, so a config may override just
-	// one of them (e.g. the paper's network on a modern machine model).
 	defNet, defMachine := DefaultPlatform()
-	if cfg.Net.Bandwidth == 0 {
+	if cfg.Net == (simnet.Config{}) {
 		cfg.Net = defNet
+	} else if err := scenario.CheckNet(cfg.Net); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	if cfg.Machine.FlopsPerCore == 0 {
+	if cfg.Machine == (perf.Machine{}) {
 		cfg.Machine = defMachine
+	} else if err := scenario.CheckMachine(cfg.Machine); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	phys := cfg.Logical
 	if cfg.Mode.Replicated() {
@@ -96,7 +95,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			SendLog: cfg.SendLog,
 		})
 	}
-	return c
+	return c, nil
 }
 
 // PhysProcs returns the number of physical processes the cluster uses (the
@@ -135,7 +134,10 @@ func (c *Cluster) Run() (sim.Time, error) {
 // RunProgram is the one-call convenience used by tests and benches: build,
 // launch, run.
 func RunProgram(cfg ClusterConfig, program func(rt core.Runner)) (sim.Time, error) {
-	c := NewCluster(cfg)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return 0, err
+	}
 	c.Launch(program)
 	return c.Run()
 }

@@ -7,28 +7,65 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 func TestModeStrings(t *testing.T) {
 	if Native.String() != "Open MPI" || Classic.String() != "SDR-MPI" || Intra.String() != "intra" {
 		t.Fatal("mode names wrong")
 	}
-	if Mode(9).String() != "?" {
-		t.Fatal("unknown mode")
+	if Mode(9).String() != "Mode(9)" {
+		t.Fatalf("unknown mode must render error-worthy, got %q", Mode(9).String())
 	}
 	if Native.Replicated() || !Classic.Replicated() || !Intra.Replicated() {
 		t.Fatal("Replicated wrong")
 	}
 }
 
+func mustCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestClusterSizes(t *testing.T) {
-	n := NewCluster(ClusterConfig{Logical: 8, Mode: Native})
+	n := mustCluster(t, ClusterConfig{Logical: 8, Mode: Native})
 	if n.PhysProcs() != 8 || n.Sys != nil {
 		t.Fatalf("native cluster: %d procs", n.PhysProcs())
 	}
-	r := NewCluster(ClusterConfig{Logical: 8, Mode: Intra})
+	r := mustCluster(t, ClusterConfig{Logical: 8, Mode: Intra})
 	if r.PhysProcs() != 16 || r.Sys == nil {
 		t.Fatalf("intra cluster: %d procs", r.PhysProcs())
+	}
+}
+
+// TestClusterRejectsPartialPlatform is the regression test for the silent
+// default-substitution bug: a custom net or machine with a zero key field
+// used to be swapped wholesale for the Grid'5000 default; it must be an
+// error instead. The zero value still selects the default platform.
+func TestClusterRejectsPartialPlatform(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Logical: 2, Mode: Native,
+		Net: simnet.Config{Latency: sim.Micros(1), LocalBandwidth: 1e9, CoresPerNode: 4}}); err == nil ||
+		!strings.Contains(err.Error(), "bandwidth") {
+		t.Fatalf("zero-bandwidth custom net must error, got %v", err)
+	}
+	if _, err := NewCluster(ClusterConfig{Logical: 2, Mode: Native,
+		Machine: perf.Machine{MemBWPerCore: 1e9}}); err == nil ||
+		!strings.Contains(err.Error(), "flop") {
+		t.Fatalf("zero-flops custom machine must error, got %v", err)
+	}
+	if _, err := NewCluster(ClusterConfig{Logical: 0, Mode: Native}); err == nil {
+		t.Fatal("zero logical ranks must error")
+	}
+	if _, err := NewCluster(ClusterConfig{Logical: 2, Mode: Mode(7)}); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	if _, err := NewCluster(ClusterConfig{Logical: 2, Mode: Classic}); err != nil {
+		t.Fatalf("zero-value platform must select the default, got %v", err)
 	}
 }
 

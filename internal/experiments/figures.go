@@ -9,98 +9,79 @@ import (
 	"repro/internal/apps/hpccg"
 	"repro/internal/apps/minighost"
 	"repro/internal/ckpt"
-	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 )
 
-// SizeDivisor shrinks per-axis grid extents for laptop-scale runs while the
-// cost model charges the paper-scale problem (volume scales by its cube,
-// halo planes by its square). 8 keeps every figure run under a second of
-// real time while preserving time ratios.
-const SizeDivisor = 8
+// SizeDivisor is re-exported from apputil, where the paper-scale app
+// configs live (see apputil.SizeDivisor).
+const SizeDivisor = apputil.SizeDivisor
 
-// HPCCGPaperConfig returns the paper's HPCCG setup (§V-C): per-logical
-// problem 128^3 in native runs, doubled (z-extent 256) under replication.
+// HPCCGPaperConfig returns the paper's HPCCG setup (§V-C) for the mode:
+// per-logical problem 128^3 in native runs, doubled (z-extent 256) under
+// replication.
 func HPCCGPaperConfig(mode Mode, iters int, intraWaxpby bool) hpccg.Config {
-	k := float64(SizeDivisor)
-	cfg := hpccg.Config{
-		Nx: 128 / SizeDivisor, Ny: 128 / SizeDivisor, Nz: 128 / SizeDivisor,
-		Iters: iters, Tasks: 8,
-		Scale: k * k * k, PlaneScale: k * k,
-		IntraDdot: true, IntraSparsemv: true, IntraWaxpby: intraWaxpby,
-	}
-	if mode.Replicated() {
-		cfg.Nz *= 2 // per-logical problem size doubles (§V-C)
-	}
-	return cfg
+	return hpccg.PaperConfig(mode.Replicated(), iters, intraWaxpby)
 }
 
-func hpccgMain(cfg hpccg.Config) appMain {
-	return func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
-		res, err := hpccg.Run(rt, cfg)
-		if err != nil {
-			return 0, nil, core.Stats{}, err
-		}
-		return res.Total, res.Kernels, res.Stats, nil
-	}
-}
+// Fig6aConfig is the AMG 27-point PCG problem of Figure 6a.
+func Fig6aConfig() amg.Config { return amg.PaperPCGConfig() }
 
-func amgMain(cfg amg.Config) appMain {
-	return func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
-		res, err := amg.Run(rt, cfg)
-		if err != nil {
-			return 0, nil, core.Stats{}, err
-		}
-		return res.Total, res.Kernels, res.Stats, nil
-	}
-}
+// Fig6bConfig is the AMG 7-point GMRES problem of Figure 6b.
+func Fig6bConfig() amg.Config { return amg.PaperGMRESConfig() }
 
-func gtcMain(cfg gtc.Config) appMain {
-	return func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
-		res, err := gtc.Run(rt, cfg)
-		if err != nil {
-			return 0, nil, core.Stats{}, err
-		}
-		return res.Total, res.Kernels, res.Stats, nil
-	}
-}
+// Fig6cConfig is the GTC problem of Figure 6c (mzetamax=64, npartdom=4,
+// micell=200 scaled down).
+func Fig6cConfig() gtc.Config { return gtc.PaperConfig() }
 
-func minighostMain(cfg minighost.Config) appMain {
-	return func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error) {
-		res, err := minighost.Run(rt, cfg)
-		if err != nil {
-			return 0, nil, core.Stats{}, err
-		}
-		return res.Total, res.Kernels, res.Stats, nil
-	}
-}
+// Fig6dConfig is the MiniGhost problem of Figure 6d (128x128x64, 27-point).
+func Fig6dConfig() minighost.Config { return minighost.PaperConfig() }
 
 // hpccgTriple is the three-mode protocol of Figure 5: native on the full
 // physical-process budget, both replicated modes on half the logical ranks
 // (same physical budget, degree 2).
-func hpccgTriple(tag string, physProcs, iters int, intraWaxpby bool) []Spec {
-	return []Spec{
-		{Name: tag + "/native", Mode: Native, Logical: physProcs,
-			App: HPCCG(HPCCGPaperConfig(Native, iters, intraWaxpby))},
-		{Name: tag + "/classic", Mode: Classic, Logical: physProcs / 2,
-			App: HPCCG(HPCCGPaperConfig(Classic, iters, intraWaxpby))},
-		{Name: tag + "/intra", Mode: Intra, Logical: physProcs / 2,
-			App: HPCCG(HPCCGPaperConfig(Intra, iters, intraWaxpby))},
+func hpccgTriple(tag string, physProcs, iters int, intraWaxpby bool) []scenario.Scenario {
+	native := scenario.MustRaw(hpccg.PaperConfig(false, iters, intraWaxpby))
+	repl := scenario.MustRaw(hpccg.PaperConfig(true, iters, intraWaxpby))
+	return []scenario.Scenario{
+		{Name: tag + "/native", App: "hpccg", Config: native, Mode: Native, Logical: physProcs},
+		{Name: tag + "/classic", App: "hpccg", Config: repl, Mode: Classic, Logical: physProcs / 2},
+		{Name: tag + "/intra", App: "hpccg", Config: repl, Mode: Intra, Logical: physProcs / 2},
 	}
+}
+
+// measures extracts the raw aggregates, the form the renderers consume.
+func measures(res []Result) []*Measure {
+	ms := make([]*Measure, len(res))
+	for i := range res {
+		ms[i] = res[i].Measure
+	}
+	return ms
 }
 
 // Fig5a regenerates Figure 5a: normalized per-kernel execution time and
 // efficiency for waxpby, ddot and sparsemv on 512 physical processes, with
 // the time spent on non-overlapped update transfers.
 func Fig5a(physProcs, iters int) (*Table, error) {
-	ms, err := sweepMeasures(hpccgTriple("fig5a", physProcs, iters, true)...)
+	scs, err := fig5aScenarios(physProcs, iters)
 	if err != nil {
 		return nil, err
 	}
+	return runFigure(scs, fig5aRender)
+}
+
+func fig5aScenarios(procs, iters int) ([]scenario.Scenario, error) {
+	return hpccgTriple("fig5a", orDefault(procs, 512), orDefault(iters, 10), true), nil
+}
+
+func fig5aRender(scs []scenario.Scenario, res []Result) (*Table, error) {
+	if len(res) != 3 {
+		return nil, fmt.Errorf("fig5a renders 3 points, got %d", len(res))
+	}
+	ms := measures(res)
 	native, classic, intra := ms[0], ms[1], ms[2]
 	t := &Table{
 		ID:     "fig5a",
-		Title:  fmt.Sprintf("HPCCG kernels, %d physical processes (normalized time; efficiency)", physProcs),
+		Title:  fmt.Sprintf("HPCCG kernels, %d physical processes (normalized time; efficiency)", native.PhysProcs),
 		Header: []string{"kernel", "OpenMPI", "SDR-MPI", "SDR eff", "intra", "intra eff", "intra updates"},
 	}
 	for _, k := range []string{"waxpby", "ddot", "sparsemv"} {
@@ -123,22 +104,40 @@ func Fig5a(physProcs, iters int) (*Table, error) {
 // scaling, with intra-parallelization applied to ddot and sparsemv only.
 // All proc-count/mode combinations run through one sweep.
 func Fig5b(procCounts []int, iters int) (*Table, error) {
-	var specs []Spec
+	var scs []scenario.Scenario
 	for _, p := range procCounts {
-		specs = append(specs, hpccgTriple(fmt.Sprintf("fig5b/%d", p), p, iters, false)...)
+		scs = append(scs, hpccgTriple(fmt.Sprintf("fig5b/%d", p), p, orDefault(iters, 10), false)...)
 	}
-	ms, err := sweepMeasures(specs...)
-	if err != nil {
-		return nil, err
+	return runFigure(scs, fig5bRender)
+}
+
+func fig5bScenarios(procs, iters int) ([]scenario.Scenario, error) {
+	counts := []int{128, 256, 512}
+	if procs > 0 {
+		counts = []int{procs}
 	}
+	var scs []scenario.Scenario
+	for _, p := range counts {
+		scs = append(scs, hpccgTriple(fmt.Sprintf("fig5b/%d", p), p, orDefault(iters, 10), false)...)
+	}
+	return scs, nil
+}
+
+func fig5bRender(scs []scenario.Scenario, res []Result) (*Table, error) {
+	if len(res) == 0 || len(res)%3 != 0 || len(scs) != len(res) {
+		return nil, fmt.Errorf("fig5b renders triples of points, got %d", len(res))
+	}
+	ms := measures(res)
 	t := &Table{
 		ID:     "fig5b",
 		Title:  "HPCCG weak scaling (total execution time in seconds; efficiency)",
 		Header: []string{"phys procs", "OpenMPI", "SDR-MPI", "SDR eff", "intra", "intra eff"},
 	}
-	for i, p := range procCounts {
+	for i := 0; i < len(ms)/3; i++ {
 		native, classic, intra := ms[3*i], ms[3*i+1], ms[3*i+2]
-		t.AddRow(fmt.Sprintf("%d", p),
+		// The native point runs the full physical budget: its logical rank
+		// count is the group's -procs value.
+		t.AddRow(fmt.Sprintf("%d", scs[3*i].Logical),
 			secs(native.AppTotal),
 			secs(classic.AppTotal), fmt.Sprintf("%.2f", Efficiency(native, classic)),
 			secs(intra.AppTotal), fmt.Sprintf("%.2f", Efficiency(native, intra)),
@@ -148,116 +147,63 @@ func Fig5b(procCounts []int, iters int) (*Table, error) {
 	return t, nil
 }
 
-// fig6 runs one application in the Figure 6 protocol: constant problem
-// size, native on `logical` processes, replicated modes on twice the
-// physical resources.
-func fig6(id, title string, logical int, app App, paperNote string) (*Table, error) {
-	ms, err := sweepMeasures(
-		Spec{Name: id + "/native", Mode: Native, Logical: logical, App: app},
-		Spec{Name: id + "/classic", Mode: Classic, Logical: logical, App: app},
-		Spec{Name: id + "/intra", Mode: Intra, Logical: logical, App: app},
-	)
-	if err != nil {
-		return nil, err
+// fig6Scenarios builds one application's Figure 6 protocol: constant
+// problem size, native on `logical` processes, replicated modes on twice
+// the physical resources.
+func fig6Scenarios(id, appName string, cfg any, logical int) []scenario.Scenario {
+	raw := scenario.MustRaw(cfg)
+	return []scenario.Scenario{
+		{Name: id + "/native", App: appName, Config: raw, Mode: Native, Logical: logical},
+		{Name: id + "/classic", App: appName, Config: raw, Mode: Classic, Logical: logical},
+		{Name: id + "/intra", App: appName, Config: raw, Mode: Intra, Logical: logical},
 	}
-	native := ms[0]
-	t := &Table{
-		ID:     id,
-		Title:  title,
-		Header: []string{"config", "phys procs", "time (s)", "sections (s)", "others (s)", "efficiency"},
-	}
-	for _, m := range ms {
-		t.AddRow(m.Mode.String(),
-			fmt.Sprintf("%d", m.PhysProcs),
-			secs(m.AppTotal),
-			secs(m.Stats.SectionTime),
-			secs(m.AppTotal-m.Stats.SectionTime),
-			fmt.Sprintf("%.2f", Efficiency(native, m)),
-		)
-	}
-	frac := float64(native.Stats.SectionTime) / float64(native.AppTotal)
-	t.Note("sections cover %.0f%% of the native execution time", 100*frac)
-	t.Note("%s", paperNote)
-	return t, nil
 }
 
-// Fig6aConfig is the AMG 27-point PCG problem of Figure 6a.
-func Fig6aConfig() amg.Config {
-	k := float64(SizeDivisor)
-	return amg.Config{
-		Nx: 96 / SizeDivisor, Ny: 96 / SizeDivisor, Nz: 96 / SizeDivisor,
-		Levels: 2, Solver: amg.PCG, Points: 27,
-		Iters: 6, CoarseIters: 4, Tasks: 8, SetupFactor: 12,
-		Scale: k * k * k, PlaneScale: k * k,
-		IntraSweeps: true,
+// fig6Render renders the Figure 6 table family.
+func fig6Render(id, title, paperNote string) func([]scenario.Scenario, []Result) (*Table, error) {
+	return func(scs []scenario.Scenario, res []Result) (*Table, error) {
+		if len(res) != 3 {
+			return nil, fmt.Errorf("%s renders 3 points, got %d", id, len(res))
+		}
+		ms := measures(res)
+		native := ms[0]
+		t := &Table{
+			ID:     id,
+			Title:  title,
+			Header: []string{"config", "phys procs", "time (s)", "sections (s)", "others (s)", "efficiency"},
+		}
+		for _, m := range ms {
+			t.AddRow(m.Mode.String(),
+				fmt.Sprintf("%d", m.PhysProcs),
+				secs(m.AppTotal),
+				secs(m.Stats.SectionTime),
+				secs(m.AppTotal-m.Stats.SectionTime),
+				fmt.Sprintf("%.2f", Efficiency(native, m)),
+			)
+		}
+		frac := float64(native.Stats.SectionTime) / float64(native.AppTotal)
+		t.Note("sections cover %.0f%% of the native execution time", 100*frac)
+		t.Note("%s", paperNote)
+		return t, nil
 	}
 }
 
 // Fig6a regenerates Figure 6a: AMG2013, 27-point stencil, PCG solver.
-func Fig6a(logical int) (*Table, error) {
-	return fig6("fig6a", "AMG (27-point stencil, PCG solver)", logical,
-		AMG(Fig6aConfig()),
-		"paper: eff 1 / 0.48 / 0.61, sections = 62% of native time")
-}
-
-// Fig6bConfig is the AMG 7-point GMRES problem of Figure 6b.
-func Fig6bConfig() amg.Config {
-	cfg := Fig6aConfig()
-	cfg.Solver = amg.GMRES
-	cfg.Points = 7
-	cfg.Iters = 8
-	cfg.Restart = 10
-	// The 7-point problem has far fewer nonzeros to sweep in the solve
-	// phase, so the (fixed-cost) setup weighs relatively more.
-	cfg.SetupFactor = 22
-	return cfg
-}
+func Fig6a(logical int) (*Table, error) { return figures["fig6a"].Run(logical, 0) }
 
 // Fig6b regenerates Figure 6b: AMG2013, 7-point stencil, GMRES solver.
-func Fig6b(logical int) (*Table, error) {
-	return fig6("fig6b", "AMG (7-point stencil, GMRES solver)", logical,
-		AMG(Fig6bConfig()),
-		"paper: eff 1 / 0.49 / 0.59, sections = 42% of native time")
-}
-
-// Fig6cConfig is the GTC problem of Figure 6c (mzetamax=64, npartdom=4,
-// micell=200 scaled down).
-func Fig6cConfig() gtc.Config {
-	return gtc.Config{
-		Cells: 64, PerCell: 25, Zones: 8,
-		Steps: 6, Dt: 0.02, Scale: 64, ShiftFrac: 0.05, AuxBytes: 180,
-		IntraCharge: true, IntraPush: true,
-	}
-}
+func Fig6b(logical int) (*Table, error) { return figures["fig6b"].Run(logical, 0) }
 
 // Fig6c regenerates Figure 6c: the GTC particle-in-cell code.
-func Fig6c(logical int) (*Table, error) {
-	return fig6("fig6c", "GTC (gyrokinetic particle-in-cell)", logical,
-		GTC(Fig6cConfig()),
-		"paper: eff 1 / 0.49 / 0.71, sections = 75% of native time, inout copy ~6% on affected tasks")
-}
-
-// Fig6dConfig is the MiniGhost problem of Figure 6d (128x128x64, 27-point).
-func Fig6dConfig() minighost.Config {
-	k := float64(SizeDivisor)
-	return minighost.Config{
-		Nx: 128 / SizeDivisor, Ny: 128 / SizeDivisor, Nz: 64 / SizeDivisor,
-		Steps: 6, Vars: 4, ReduceVars: 4, Tasks: 8,
-		Scale: k * k * k, PlaneScale: k * k,
-		IntraGsum: true,
-	}
-}
+func Fig6c(logical int) (*Table, error) { return figures["fig6c"].Run(logical, 0) }
 
 // Fig6d regenerates Figure 6d: MiniGhost (27-point stencil boundary
 // exchange).
-func Fig6d(logical int) (*Table, error) {
-	return fig6("fig6d", "MiniGhost (3D 27-point stencil)", logical,
-		MiniGhost(Fig6dConfig()),
-		"paper: eff 1 / 0.49 / 0.51, sections = 10% of native time")
-}
+func Fig6d(logical int) (*Table, error) { return figures["fig6d"].Run(logical, 0) }
 
 // CkptModelTable regenerates the §II motivation: cCR efficiency collapses
-// with shrinking MTBF while replication-based schemes hold theirs.
+// with shrinking MTBF while replication-based schemes hold theirs. The
+// table is analytic (internal/ckpt): it has no scenarios to simulate.
 func CkptModelTable() *Table {
 	t := &Table{
 		ID:    "ckpt",

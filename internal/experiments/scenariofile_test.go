@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+var updateScenarios = flag.Bool("update-scenarios", false,
+	"rewrite the figure files under scenarios/ from the figure generators")
+
+const scenariosDir = "../../scenarios"
+
+// figureFiles builds the checked-in scenario file of every simulated
+// figure: the figure's scenarios at paper-scale defaults plus the figure
+// binding that selects the renderer.
+func figureFiles(t *testing.T) map[string]*scenario.File {
+	t.Helper()
+	out := map[string]*scenario.File{}
+	for id, f := range figures {
+		if f.Scenarios == nil {
+			continue // analytic: nothing to simulate
+		}
+		scs, err := f.Scenarios(0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out[id] = &scenario.File{
+			Name:        id,
+			Description: f.Description,
+			Figure:      id,
+			Scenarios:   scs,
+		}
+	}
+	return out
+}
+
+// TestScenarioFilesInSync proves each scenarios/<figure>.json equals what
+// the figure generator declares, so `sweep -spec scenarios/fig5a.json`
+// reproduces `sweep -figures fig5a` exactly. Run with -update-scenarios to
+// regenerate the files after changing a figure.
+func TestScenarioFilesInSync(t *testing.T) {
+	for id, want := range figureFiles(t) {
+		path := filepath.Join(scenariosDir, id+".json")
+		wantJSON, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON = append(wantJSON, '\n')
+		if *updateScenarios {
+			if err := os.WriteFile(path, wantJSON, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with `go test ./internal/experiments -run TestScenarioFilesInSync -update-scenarios`)", id, err)
+		}
+		// Compare canonically: both sides parsed and re-marshaled, so
+		// formatting is irrelevant but every field is significant.
+		canon := func(b []byte) string {
+			f, err := scenario.Parse(b)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			c, err := json.Marshal(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(c)
+		}
+		if canon(got) != canon(wantJSON) {
+			t.Errorf("%s: scenarios/%s.json is out of sync with the figure generator "+
+				"(regenerate with -update-scenarios)", id, id)
+		}
+	}
+}
+
+// TestAllScenarioFilesValid loads every checked-in scenario file — the
+// figure reproductions, the smoke grid and the beyond-paper grids — and
+// validates the full expansion.
+func TestAllScenarioFilesValid(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(scenariosDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("expected the checked-in scenario files, found %d", len(paths))
+	}
+	for _, path := range paths {
+		f, err := scenario.Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		scs, err := f.Expand()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(scs) == 0 {
+			t.Errorf("%s: empty expansion", path)
+		}
+		if f.Figure != "" {
+			if _, err := FigureByID(f.Figure); err != nil {
+				t.Errorf("%s: %v", path, err)
+			}
+		}
+	}
+}
+
+// TestSpecFileReproducesFigure is the figure-equivalence property at test
+// scale: rendering a figure from a scenario file written by the generator
+// produces the byte-identical table to running the figure directly.
+func TestSpecFileReproducesFigure(t *testing.T) {
+	const procs, iters = 16, 3
+	direct, err := RunFigure("fig5b", procs, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file path: generate scenarios, serialize, reload, sweep, render —
+	// exactly what `sweep -spec` does.
+	scs, err := figures["fig5b"].Scenarios(procs, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(&scenario.File{Figure: "fig5b", Scenarios: scs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := scenario.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SweepScenarios(0, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFile, err := RenderFigure("fig5b", loaded, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaFile.String() != direct.String() {
+		t.Fatalf("file path diverges from figure path:\n%s\nvs\n%s", viaFile.String(), direct.String())
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,39 +16,61 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/perf"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
 
 // App is one benchmark application bound to a concrete configuration,
-// ready to run on a sweep point. The key is a content fingerprint of the
-// configuration: two Apps with equal keys produce identical simulations,
-// which is what lets the sweep memoize repeated points.
+// ready to run on a sweep point. The key is a canonical content
+// fingerprint of the configuration (scenario.AppFingerprint): two Apps
+// with equal keys produce identical simulations, which is what lets the
+// sweep memoize repeated points.
 type App struct {
 	Name string
 	key  string
 	main appMain
 }
 
-// HPCCG wraps the HPCCG conjugate-gradient mini-app for a sweep.
-func HPCCG(cfg hpccg.Config) App {
-	return App{Name: "hpccg", key: fmt.Sprintf("hpccg:%+v", cfg), main: hpccgMain(cfg)}
+// AppFor binds a registered application to a decoded configuration (the
+// pointer type the registry's New returns).
+func AppFor(name string, cfg any) (App, error) {
+	ent, err := scenario.AppByName(name)
+	if err != nil {
+		return App{}, err
+	}
+	run, err := ent.Run(cfg)
+	if err != nil {
+		return App{}, err
+	}
+	key, err := scenario.AppFingerprint(name, cfg)
+	if err != nil {
+		return App{}, err
+	}
+	return App{Name: name, key: key, main: appMain(run)}, nil
 }
+
+// mustApp is AppFor for the typed constructors below, whose registry
+// entries are guaranteed by this package's app imports.
+func mustApp(name string, cfg any) App {
+	app, err := AppFor(name, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return app
+}
+
+// HPCCG wraps the HPCCG conjugate-gradient mini-app for a sweep.
+func HPCCG(cfg hpccg.Config) App { return mustApp("hpccg", &cfg) }
 
 // AMG wraps the AMG2013 multigrid mini-app for a sweep.
-func AMG(cfg amg.Config) App {
-	return App{Name: "amg", key: fmt.Sprintf("amg:%+v", cfg), main: amgMain(cfg)}
-}
+func AMG(cfg amg.Config) App { return mustApp("amg", &cfg) }
 
 // GTC wraps the GTC particle-in-cell code for a sweep.
-func GTC(cfg gtc.Config) App {
-	return App{Name: "gtc", key: fmt.Sprintf("gtc:%+v", cfg), main: gtcMain(cfg)}
-}
+func GTC(cfg gtc.Config) App { return mustApp("gtc", &cfg) }
 
 // MiniGhost wraps the MiniGhost stencil mini-app for a sweep.
-func MiniGhost(cfg minighost.Config) App {
-	return App{Name: "minighost", key: fmt.Sprintf("minighost:%+v", cfg), main: minighostMain(cfg)}
-}
+func MiniGhost(cfg minighost.Config) App { return mustApp("minighost", &cfg) }
 
 // Spec is one sweep point: a platform, a fault-tolerance mode, and an
 // application. The zero values of Degree, Net and Machine select the
@@ -70,17 +93,88 @@ type Spec struct {
 	Fault *fault.Schedule
 }
 
-// key returns the memo fingerprint of the spec, or "" when the spec is not
-// memoizable (custom scheduler or hooks carry code the key cannot see).
+// key returns the memo fingerprint of the spec — the canonical JSON
+// encoding of every semantic field — or "" when the spec is not memoizable
+// (custom scheduler or hooks carry code the key cannot see, and an unknown
+// mode cannot be encoded).
 func (s Spec) key() string {
 	o := s.Opts
 	if s.App.key == "" || o.Sched != nil ||
 		o.Hooks.BeforeTaskExec != nil || o.Hooks.AfterTaskExec != nil || o.Hooks.AfterArgSend != nil {
 		return ""
 	}
-	return fmt.Sprintf("m%d:l%d:d%d:im%d:cs%g:net%+v:mach%+v:flt%s:%s",
-		s.Mode, s.Logical, s.Degree, o.Mode, o.CostScale, s.Net, s.Machine,
-		s.Fault.Fingerprint(), s.App.key)
+	// Normalize the degree the same way the cluster resolves it, so a
+	// degree-0 (default) spec memo-hits its spelled-out twin and native
+	// specs key identically whatever degree tag they carry.
+	degree := s.Degree
+	if !s.Mode.Replicated() {
+		degree = 1
+	} else if degree == 0 {
+		degree = scenario.DefaultDegree
+	}
+	k, err := json.Marshal(struct {
+		Mode      Mode           `json:"mode"`
+		Logical   int            `json:"logical"`
+		Degree    int            `json:"degree"`
+		Inout     core.InoutMode `json:"inout"`
+		CostScale float64        `json:"cost_scale"`
+		Net       simnet.Config  `json:"net"`
+		Machine   perf.Machine   `json:"machine"`
+		Fault     string         `json:"fault"`
+		App       string         `json:"app"`
+	}{s.Mode, s.Logical, degree, o.Mode, o.CostScale, s.Net, s.Machine,
+		s.Fault.Fingerprint(), s.App.key})
+	if err != nil {
+		return ""
+	}
+	return string(k)
+}
+
+// SpecFor converts a validated Scenario into a runnable sweep point: the
+// thin adapter every scenario consumer (CLIs, figures, scenario files,
+// campaigns) goes through.
+func SpecFor(sc scenario.Scenario) (Spec, error) {
+	if err := sc.Validate(); err != nil {
+		return Spec{}, err
+	}
+	if sc.Fault != nil && sc.Fault.MTBFSeconds > 0 {
+		return Spec{}, fmt.Errorf("scenario %q: an MTBF fault model needs a campaign (-mode campaign), a single sweep point cannot run it", sc.Name)
+	}
+	cfg, err := sc.AppConfig()
+	if err != nil {
+		return Spec{}, err
+	}
+	app, err := AppFor(sc.App, cfg)
+	if err != nil {
+		return Spec{}, err
+	}
+	net, machine, err := sc.Platform()
+	if err != nil {
+		return Spec{}, err
+	}
+	opts, err := sc.Intra.CoreOptions()
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Name: sc.Name, Mode: sc.Mode, Logical: sc.Logical, Degree: sc.Degree,
+		Opts: opts, Net: net, Machine: machine, App: app,
+		Fault: sc.Fault.Schedule(),
+	}, nil
+}
+
+// SweepScenarios validates and runs a scenario list through the sweep
+// pool, in order.
+func SweepScenarios(workers int, scs []scenario.Scenario) ([]Result, error) {
+	specs := make([]Spec, len(scs))
+	for i, sc := range scs {
+		spec, err := SpecFor(sc)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	return SweepN(workers, specs)
 }
 
 // KernelResult is the JSON view of one kernel's timing.
@@ -224,11 +318,14 @@ func runSpec(s Spec) (Result, error) {
 		return Result{}, fmt.Errorf("spec %q: fault schedule requires a replicated mode", s.Name)
 	}
 	start := time.Now()
-	c := NewCluster(ClusterConfig{
+	c, err := NewCluster(ClusterConfig{
 		Logical: s.Logical, Mode: s.Mode, Degree: s.Degree,
 		Net: s.Net, Machine: s.Machine, IntraOpts: s.Opts,
 		SendLog: crashes > 0,
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	if crashes > 0 {
 		s.Fault.Install(c.E, c.Sys)
 	}
@@ -292,18 +389,4 @@ func runSpec(s Spec) (Result, error) {
 		Measure:           m,
 	}
 	return r, nil
-}
-
-// sweepMeasures runs the specs and returns just the raw measures, in spec
-// order: the form the figure builders consume.
-func sweepMeasures(specs ...Spec) ([]*Measure, error) {
-	res, err := Sweep(specs)
-	if err != nil {
-		return nil, err
-	}
-	ms := make([]*Measure, len(res))
-	for i := range res {
-		ms[i] = res[i].Measure
-	}
-	return ms, nil
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/perf"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -143,6 +144,80 @@ func TestSweepMemo(t *testing.T) {
 	}
 	if res[1].Name != "b" {
 		t.Fatal("memo hits keep their own spec name")
+	}
+}
+
+// TestSweepMemoDegreeNormalization: a default-degree spec must memo-hit
+// its spelled-out degree-2 twin, and native specs key identically whatever
+// degree tag they carry (native ignores the degree).
+func TestSweepMemoDegreeNormalization(t *testing.T) {
+	cfg := smallHPCCG(2)
+	res, err := Sweep([]Spec{
+		{Name: "default-degree", Mode: Intra, Logical: 2, App: HPCCG(cfg)},
+		{Name: "explicit-degree", Mode: Intra, Logical: 2, Degree: 2, App: HPCCG(cfg)},
+		{Name: "native-tagged", Mode: Native, Logical: 2, Degree: 3, App: HPCCG(cfg)},
+		{Name: "native-plain", Mode: Native, Logical: 2, App: HPCCG(cfg)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[1].Memoized || res[1].Measure != res[0].Measure {
+		t.Fatal("degree 0 and degree 2 describe the same replicated simulation")
+	}
+	if !res[3].Memoized || res[3].Measure != res[2].Measure {
+		t.Fatal("native specs must key identically whatever degree they carry")
+	}
+}
+
+// TestFingerprintMatchesMemoKey pins scenario.Fingerprint and the sweep
+// memo key together: for every pair of scenarios, the two encodings must
+// agree on whether the points are the same simulation. This is the guard
+// against the two canonical encoders drifting apart.
+func TestFingerprintMatchesMemoKey(t *testing.T) {
+	cfg := smallHPCCG(2)
+	cfg2 := cfg
+	cfg2.Iters = 3
+	scs := []scenario.Scenario{
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Intra, Logical: 2},
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Intra, Logical: 2, Degree: 2},
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Intra, Logical: 2, Degree: 3},
+		{App: "hpccg", Config: scenario.MustRaw(cfg2), Mode: Intra, Logical: 2},
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Classic, Logical: 2},
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Intra, Logical: 4},
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Intra, Logical: 2, Net: "eth10g"},
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Intra, Logical: 2, Machine: "skylake"},
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Intra, Logical: 2,
+			Intra: &scenario.IntraOptions{Inout: "atomic"}},
+		// An explicit inout "copy" is the omitted default: both encoders
+		// must key it together with the bare scenario above.
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Intra, Logical: 2,
+			Intra: &scenario.IntraOptions{Inout: "copy"}},
+		{App: "hpccg", Config: scenario.MustRaw(cfg), Mode: Intra, Logical: 2,
+			Fault: &scenario.FaultSpec{Crashes: []scenario.Crash{{Logical: 0, Lane: 1, AtSeconds: 0.1}}}},
+	}
+	fps := make([]string, len(scs))
+	keys := make([]string, len(scs))
+	for i, sc := range scs {
+		fp, err := sc.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[i] = fp
+		spec, err := SpecFor(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if keys[i] = spec.key(); keys[i] == "" {
+			t.Fatalf("scenario %d is unexpectedly not memoizable", i)
+		}
+	}
+	for i := range scs {
+		for j := range scs {
+			if (fps[i] == fps[j]) != (keys[i] == keys[j]) {
+				t.Fatalf("scenarios %d and %d: Fingerprint says same=%v, memo key says same=%v",
+					i, j, fps[i] == fps[j], keys[i] == keys[j])
+			}
+		}
 	}
 }
 

@@ -122,7 +122,7 @@ func TestCrashPlanReset(t *testing.T) {
 
 	plan := &fault.CrashPlan{Point: fault.BeforeExec, Nth: 5}
 	runWithPlan := func() int {
-		c := experiments.NewCluster(experiments.ClusterConfig{
+		c := newCluster(t, experiments.ClusterConfig{
 			Logical: 2, Mode: experiments.Intra, SendLog: true,
 		})
 		c.Sys.Launch("app", func(p *replication.Proc) {
@@ -182,7 +182,7 @@ func TestCrashPlanMatrix(t *testing.T) {
 		for _, lane := range []int{0, 1} {
 			for _, mode := range []core.InoutMode{core.CopyRestore, core.AtomicApply} {
 				name := point.String() + "/" + mode.String()
-				c := experiments.NewCluster(experiments.ClusterConfig{
+				c := newCluster(t, experiments.ClusterConfig{
 					Logical: 2, Mode: experiments.Intra, SendLog: true,
 				})
 				plan := &fault.CrashPlan{Point: point, Nth: 7}
@@ -229,7 +229,7 @@ func TestExponentialFailuresDuringRun(t *testing.T) {
 	}
 
 	for seed := int64(1); seed <= 5; seed++ {
-		c := experiments.NewCluster(experiments.ClusterConfig{
+		c := newCluster(t, experiments.ClusterConfig{
 			Logical: 4, Mode: experiments.Intra, SendLog: true,
 		})
 		sched := fault.Exponential(4, 2, 50*sim.Millisecond, 200*sim.Millisecond, seed)
@@ -283,7 +283,7 @@ func TestDenseCrashSweep(t *testing.T) {
 	for i := 0; i < steps; i++ {
 		at := horizon * sim.Time(i) / sim.Time(steps)
 		lane := i % 2
-		c := experiments.NewCluster(experiments.ClusterConfig{
+		c := newCluster(t, experiments.ClusterConfig{
 			Logical: 2, Mode: experiments.Intra, SendLog: true,
 		})
 		fault.At(c.E, c.Sys, 1, lane, at)
@@ -301,4 +301,15 @@ func TestDenseCrashSweep(t *testing.T) {
 			t.Fatalf("crash at %v lane %d: %v", at, lane, err)
 		}
 	}
+}
+
+// newCluster builds a cluster from a known-good test config, failing the
+// test on a validation error.
+func newCluster(t *testing.T, cfg experiments.ClusterConfig) *experiments.Cluster {
+	t.Helper()
+	c, err := experiments.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

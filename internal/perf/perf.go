@@ -12,6 +12,7 @@ package perf
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -82,8 +83,38 @@ var Skylake = Machine{
 	FlopsPerCore: 1.2e10,
 }
 
-// Machines names the machine models available to the sweep CLI.
-var Machines = map[string]Machine{
-	"grid5000": Grid5000,
-	"skylake":  Skylake,
+// Machines names the machine models available as scenario platform axes.
+// Entries are added via Register; the built-in models register below.
+var Machines = map[string]Machine{}
+
+// DefaultMachineName is the registry name of the paper's node model: the
+// model a scenario selects when it omits its machine.
+const DefaultMachineName = "grid5000"
+
+// Register adds a named machine model to the Machines registry. Names are
+// scenario-file and CLI currency, so a duplicate is a programming error and
+// panics.
+func Register(name string, m Machine) {
+	if name == "" {
+		panic("perf: Register with empty name")
+	}
+	if _, dup := Machines[name]; dup {
+		panic(fmt.Sprintf("perf: machine %q registered twice", name))
+	}
+	Machines[name] = m
+}
+
+// MachineNames returns the registered machine names, sorted.
+func MachineNames() []string {
+	names := make([]string, 0, len(Machines))
+	for n := range Machines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(DefaultMachineName, Grid5000)
+	Register("skylake", Skylake)
 }

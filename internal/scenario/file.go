@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// File is a checked-in scenario file (scenarios/*.json): an optional grid
+// plus explicit scenario points, with an optional figure binding that asks
+// the CLI to render the results with that figure's table builder.
+type File struct {
+	Name        string `json:"name,omitempty"`
+	Description string `json:"description,omitempty"`
+	// Figure names a figure whose renderer consumes the results (the file
+	// then reproduces that figure's table exactly). Empty for generic
+	// sweeps.
+	Figure    string     `json:"figure,omitempty"`
+	Grid      *Grid      `json:"grid,omitempty"`
+	Scenarios []Scenario `json:"scenarios,omitempty"`
+}
+
+// Parse decodes a scenario file strictly: unknown fields are typos, not
+// extensions (app configs are checked the same way during validation).
+func Parse(b []byte) (*File, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if f.Grid == nil && len(f.Scenarios) == 0 {
+		return nil, fmt.Errorf("scenario: file %q declares neither a grid nor scenarios", f.Name)
+	}
+	return &f, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	f, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return f, nil
+}
+
+// Expand returns the file's full scenario list — grid points first, then
+// the explicit scenarios — with every point validated.
+func (f *File) Expand() ([]Scenario, error) {
+	var out []Scenario
+	if f.Grid != nil {
+		scs, err := f.Grid.Expand()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scs...)
+	}
+	for _, sc := range f.Scenarios {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package scenario
+
+import "fmt"
+
+// Mode selects the fault-tolerance configuration, matching the three bar
+// groups of the paper's figures.
+type Mode int
+
+// Modes of the evaluation.
+const (
+	Native  Mode = iota // unreplicated Open MPI baseline
+	Classic             // SDR-MPI: classic state-machine replication
+	Intra               // replication with intra-parallelization
+)
+
+// Modes lists the known modes in presentation order.
+var Modes = []Mode{Native, Classic, Intra}
+
+// Known reports whether m is one of the defined modes.
+func (m Mode) Known() bool { return m >= Native && m <= Intra }
+
+// Replicated reports whether the mode uses process replication.
+func (m Mode) Replicated() bool { return m == Classic || m == Intra }
+
+// String returns the display name used in tables and reports ("Open MPI",
+// "SDR-MPI", "intra"). Unknown values render as "Mode(n)" so a bad mode is
+// visible wherever it leaks, instead of a silent "?".
+func (m Mode) String() string {
+	switch m {
+	case Native:
+		return "Open MPI"
+	case Classic:
+		return "SDR-MPI"
+	case Intra:
+		return "intra"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Name returns the canonical wire name ("native", "classic", "intra") used
+// by scenario files and CLI flags, or "Mode(n)" for unknown values.
+func (m Mode) Name() string {
+	switch m {
+	case Native:
+		return "native"
+	case Classic:
+		return "classic"
+	case Intra:
+		return "intra"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// MarshalText encodes the mode under its canonical name, making Mode
+// JSON-round-trippable wherever it appears. Unknown values are an error,
+// not a "?" placeholder.
+func (m Mode) MarshalText() ([]byte, error) {
+	if !m.Known() {
+		return nil, fmt.Errorf("scenario: cannot encode unknown mode %d", int(m))
+	}
+	return []byte(m.Name()), nil
+}
+
+// UnmarshalText decodes a canonical mode name.
+func (m *Mode) UnmarshalText(b []byte) error {
+	v, err := ParseMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// ParseMode maps a canonical name to its Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "native":
+		return Native, nil
+	case "classic":
+		return Classic, nil
+	case "intra":
+		return Intra, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown mode %q (native | classic | intra)", s)
+}

@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/apps/apputil"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// AppRun executes the application on one logical process and reports its
+// timings (total, per-kernel, runtime-stat snapshot).
+type AppRun func(rt core.Runner) (sim.Time, map[string]*apputil.KernelTime, core.Stats, error)
+
+// AppEntry describes one registered application: how to decode its config
+// and how to turn a config into a runnable program, plus the paper's grid
+// protocol for CLI sweeps.
+type AppEntry struct {
+	Name        string
+	Description string
+
+	// New returns a pointer to the app's default config; scenario files
+	// overlay their "config" object onto it.
+	New func() any
+	// Run binds a decoded config (the pointer type New returns) to a
+	// runnable program.
+	Run func(cfg any) (AppRun, error)
+
+	// Paper returns a pointer to the paper-scale config of the app's
+	// figure, with the iteration/step and tasks-per-section overrides
+	// applied when positive. Used by grid expansion.
+	Paper func(iters, tasks int) any
+	// WeakScaling marks apps whose grid -procs value is a physical budget
+	// (replicated modes run procs/degree logical ranks on a grown per-rank
+	// problem, Figure 5); fixed-size apps pin the logical rank count
+	// (Figure 6).
+	WeakScaling bool
+	// GrowPerDegree grows the per-rank problem for replicated runs so the
+	// total logical work stays constant on an equal physical budget
+	// (weak-scaling apps only).
+	GrowPerDegree func(cfg any, degree int)
+	// ShrinkPerDegree inverts GrowPerDegree: it recovers the per-rank
+	// problem of the unreplicated reference from a degree-grown config.
+	// Campaigns built from scenario files use it to reconstruct the same
+	// native baseline the CLI grid builds. A config that is not an exact
+	// degree-multiple is an error, not a truncation.
+	ShrinkPerDegree func(cfg any, degree int) error
+}
+
+var (
+	appMu      sync.RWMutex
+	appsByName = map[string]AppEntry{}
+)
+
+// RegisterApp adds an application to the registry. App names are scenario
+// currency (files, memo keys, CLI flags), so an empty or duplicate name is
+// a programming error and panics.
+func RegisterApp(e AppEntry) {
+	if e.Name == "" {
+		panic("scenario: RegisterApp with empty name")
+	}
+	if e.New == nil || e.Run == nil {
+		panic(fmt.Sprintf("scenario: app %q registered without config decoder or runner factory", e.Name))
+	}
+	appMu.Lock()
+	defer appMu.Unlock()
+	if _, dup := appsByName[e.Name]; dup {
+		panic(fmt.Sprintf("scenario: app %q registered twice", e.Name))
+	}
+	appsByName[e.Name] = e
+}
+
+// AppByName looks an application up, with an error naming the registered
+// apps on a miss.
+func AppByName(name string) (AppEntry, error) {
+	appMu.RLock()
+	defer appMu.RUnlock()
+	e, ok := appsByName[name]
+	if !ok {
+		return AppEntry{}, fmt.Errorf("scenario: unknown app %q (have %s)", name, strings.Join(appNamesLocked(), ", "))
+	}
+	return e, nil
+}
+
+// Apps returns every registered application, sorted by name.
+func Apps() []AppEntry {
+	appMu.RLock()
+	defer appMu.RUnlock()
+	out := make([]AppEntry, 0, len(appsByName))
+	for _, n := range appNamesLocked() {
+		out = append(out, appsByName[n])
+	}
+	return out
+}
+
+// AppNames returns the registered application names, sorted.
+func AppNames() []string {
+	appMu.RLock()
+	defer appMu.RUnlock()
+	return appNamesLocked()
+}
+
+func appNamesLocked() []string {
+	names := make([]string, 0, len(appsByName))
+	for n := range appsByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AppFingerprint returns the canonical content key of (app, config): the
+// app name plus the canonical JSON encoding of the config. It replaces the
+// old fmt.Sprintf("%+v") fingerprints, whose output was neither canonical
+// nor stable across struct changes.
+func AppFingerprint(name string, cfg any) (string, error) {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("scenario: fingerprint %s config: %w", name, err)
+	}
+	return name + ":" + string(b), nil
+}

@@ -1,0 +1,386 @@
+package scenario_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/hpccg"
+	"repro/internal/perf"
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+
+	// Register the remaining apps so the registry tests see the full set.
+	_ "repro/internal/apps/amg"
+	_ "repro/internal/apps/gtc"
+	_ "repro/internal/apps/minighost"
+)
+
+func TestModeTextRoundTrip(t *testing.T) {
+	for _, m := range scenario.Modes {
+		b, err := m.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		var back scenario.Mode
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if back != m {
+			t.Fatalf("round trip %v -> %s -> %v", m, b, back)
+		}
+	}
+	if _, err := scenario.Mode(7).MarshalText(); err == nil {
+		t.Fatal("unknown mode must not encode")
+	}
+	if _, err := scenario.ParseMode("openmpi"); err == nil {
+		t.Fatal("unknown name must not parse")
+	}
+	if got := scenario.Mode(7).String(); got != "Mode(7)" {
+		t.Fatalf("unknown mode string %q", got)
+	}
+	// Mode marshals under its canonical name inside JSON documents.
+	b, err := json.Marshal(scenario.Classic)
+	if err != nil || string(b) != `"classic"` {
+		t.Fatalf("JSON form %s, %v", b, err)
+	}
+}
+
+func TestAppRegistry(t *testing.T) {
+	names := scenario.AppNames()
+	for _, want := range []string{"amg", "gtc", "hpccg", "minighost"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("app %q not registered (have %v)", want, names)
+		}
+	}
+	_, err := scenario.AppByName("nbody")
+	if err == nil || !strings.Contains(err.Error(), "hpccg") {
+		t.Fatalf("unknown app error must name the registered apps, got %v", err)
+	}
+	for _, e := range scenario.Apps() {
+		if e.Description == "" {
+			t.Fatalf("app %q has no description", e.Name)
+		}
+	}
+}
+
+func TestRegisterAppDuplicatePanics(t *testing.T) {
+	entry := scenario.AppEntry{
+		Name: "scenario-test-dup",
+		New:  func() any { return &struct{}{} },
+		Run:  func(any) (scenario.AppRun, error) { return nil, nil },
+	}
+	scenario.RegisterApp(entry)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate app registration must panic")
+		}
+	}()
+	scenario.RegisterApp(entry)
+}
+
+func TestPlatformRegistryDuplicatePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: duplicate registration must panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("simnet", func() { simnet.Register("ib20g", simnet.Ethernet10G) })
+	mustPanic("perf", func() { perf.Register("grid5000", perf.Skylake) })
+}
+
+func smallConfig() hpccg.Config {
+	return hpccg.Config{
+		Nx: 8, Ny: 8, Nz: 8, Iters: 4, Tasks: 8,
+		Scale: 64, PlaneScale: 16,
+		IntraDdot: true, IntraSparsemv: true,
+	}
+}
+
+func smallScenario() scenario.Scenario {
+	return scenario.Scenario{
+		Name: "test/point", App: "hpccg", Config: scenario.MustRaw(smallConfig()),
+		Mode: scenario.Intra, Logical: 4, Degree: 2,
+		Net: "eth10g", Machine: "skylake",
+		Intra: &scenario.IntraOptions{Inout: "atomic", CostScale: 2},
+		Fault: &scenario.FaultSpec{Crashes: []scenario.Crash{{Logical: 1, Lane: 0, AtSeconds: 0.5}}},
+	}
+}
+
+func fingerprint(t *testing.T, sc scenario.Scenario) string {
+	t.Helper()
+	fp, err := sc.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := smallScenario()
+	b, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back scenario.Scenario
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", b, b2)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(t, sc) != fingerprint(t, back) {
+		t.Fatal("round trip changed the fingerprint")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	base := fingerprint(t, smallScenario())
+	if base != fingerprint(t, smallScenario()) {
+		t.Fatal("identical scenarios must share a fingerprint")
+	}
+
+	// Name is a label, not a semantic field.
+	named := smallScenario()
+	named.Name = "other/name"
+	if fingerprint(t, named) != base {
+		t.Fatal("a renamed scenario is the same simulation")
+	}
+
+	// Degree 0 canonicalizes to the default.
+	defaulted := smallScenario()
+	defaulted.Degree = 0
+	if fingerprint(t, defaulted) != base {
+		t.Fatal("degree 0 must fingerprint as the default degree 2")
+	}
+
+	// Explicitly spelling the default intra options keys like omitting
+	// them: the fingerprint normalizes to resolved engine options.
+	spelled := smallScenario()
+	spelled.Intra = &scenario.IntraOptions{Inout: "atomic", CostScale: 2}
+	if fingerprint(t, spelled) != base {
+		t.Fatal("equal resolved intra options must key identically")
+	}
+	plain := scenario.Scenario{App: "hpccg", Mode: scenario.Intra, Logical: 2}
+	copyDefault := plain
+	copyDefault.Intra = &scenario.IntraOptions{Inout: "copy"}
+	if fingerprint(t, plain) != fingerprint(t, copyDefault) {
+		t.Fatal(`explicit inout "copy" is the omitted default and must key identically`)
+	}
+
+	// An omitted config decodes to the app default: it keys like the
+	// spelled-out default.
+	implicit := scenario.Scenario{App: "hpccg", Mode: scenario.Native, Logical: 2}
+	explicit := scenario.Scenario{App: "hpccg", Config: scenario.MustRaw(hpccg.DefaultConfig()),
+		Mode: scenario.Native, Logical: 2}
+	if fingerprint(t, implicit) != fingerprint(t, explicit) {
+		t.Fatal("implicit and explicit default configs must key identically")
+	}
+
+	// Every semantic change must change the key.
+	mutations := map[string]func(*scenario.Scenario){
+		"mode":    func(s *scenario.Scenario) { s.Mode = scenario.Classic },
+		"logical": func(s *scenario.Scenario) { s.Logical = 8 },
+		"degree":  func(s *scenario.Scenario) { s.Degree = 3 },
+		"config": func(s *scenario.Scenario) {
+			cfg := smallConfig()
+			cfg.Iters = 5
+			s.Config = scenario.MustRaw(cfg)
+		},
+		"net":     func(s *scenario.Scenario) { s.Net = "ib20g" },
+		"machine": func(s *scenario.Scenario) { s.Machine = "grid5000" },
+		"intra":   func(s *scenario.Scenario) { s.Intra = &scenario.IntraOptions{Inout: "copy", CostScale: 2} },
+		"fault": func(s *scenario.Scenario) {
+			s.Fault = &scenario.FaultSpec{Crashes: []scenario.Crash{{Logical: 1, Lane: 0, AtSeconds: 0.7}}}
+		},
+	}
+	for field, mutate := range mutations {
+		sc := smallScenario()
+		mutate(&sc)
+		if fingerprint(t, sc) == base {
+			t.Fatalf("changing %s did not change the fingerprint", field)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(*scenario.Scenario)
+		want   string
+	}{
+		"unknown app":     {func(s *scenario.Scenario) { s.App = "nbody" }, "unknown app"},
+		"config typo":     {func(s *scenario.Scenario) { s.Config = []byte(`{"Nq": 3}`) }, "unknown field"},
+		"zero logical":    {func(s *scenario.Scenario) { s.Logical = 0 }, "logical rank"},
+		"degree one":      {func(s *scenario.Scenario) { s.Degree = 1 }, "degree"},
+		"unknown net":     {func(s *scenario.Scenario) { s.Net = "myrinet" }, "unknown net"},
+		"unknown machine": {func(s *scenario.Scenario) { s.Machine = "epyc" }, "unknown machine"},
+		"zero-bandwidth custom net": {func(s *scenario.Scenario) {
+			s.Net, s.NetConfig = "", &simnet.Config{LocalBandwidth: 1e9}
+		}, "bandwidth"},
+		"net name plus custom net": {func(s *scenario.Scenario) {
+			s.NetConfig = &simnet.Config{Bandwidth: 1e9, LocalBandwidth: 1e9}
+		}, "both"},
+		"zero-flops custom machine": {func(s *scenario.Scenario) {
+			s.Machine, s.MachineConfig = "", &perf.Machine{MemBWPerCore: 1e9}
+		}, "flop"},
+		"bad inout": {func(s *scenario.Scenario) { s.Intra = &scenario.IntraOptions{Inout: "undo"} }, "inout"},
+		"fault on native": {func(s *scenario.Scenario) {
+			s.Mode, s.Degree = scenario.Native, 0
+		}, "replicated"},
+		"mtbf plus crashes": {func(s *scenario.Scenario) {
+			s.Fault.MTBFSeconds = 1
+		}, "both"},
+		"horizon without mtbf": {func(s *scenario.Scenario) {
+			s.Fault = &scenario.FaultSpec{HorizonSeconds: 5}
+		}, "horizon"},
+		"crash lane out of range": {func(s *scenario.Scenario) {
+			s.Fault.Crashes[0].Lane = 2
+		}, "lane"},
+		"crash rank out of range": {func(s *scenario.Scenario) {
+			s.Fault.Crashes[0].Logical = 9
+		}, "rank"},
+	}
+	for name, tc := range cases {
+		sc := smallScenario()
+		tc.mutate(&sc)
+		err := sc.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", name, tc.want, err)
+		}
+	}
+	if err := smallScenario().Validate(); err != nil {
+		t.Fatalf("the base scenario must validate: %v", err)
+	}
+}
+
+func TestGridExpandWeakScaling(t *testing.T) {
+	g := scenario.Grid{Apps: []string{"hpccg"}, Procs: []int{8}}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("expected 3 scenarios, got %d", len(scs))
+	}
+	native, classic, intra := scs[0], scs[1], scs[2]
+	if native.Mode != scenario.Native || native.Logical != 8 {
+		t.Fatalf("native point wrong: %+v", native)
+	}
+	if classic.Logical != 4 || intra.Logical != 4 {
+		t.Fatalf("weak scaling must halve logical ranks at degree 2: %d/%d", classic.Logical, intra.Logical)
+	}
+	if native.Name != "hpccg/Open MPI/p8" || intra.Name != "hpccg/intra/p8/d2" {
+		t.Fatalf("grid names wrong: %q, %q", native.Name, intra.Name)
+	}
+	// Replicated per-rank problems grow with the degree.
+	ncfg, err := native.AppConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg, err := intra.AppConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rcfg.(*hpccg.Config).Nz, 2*ncfg.(*hpccg.Config).Nz; got != want {
+		t.Fatalf("replicated Nz = %d, want %d", got, want)
+	}
+
+	if _, err := (scenario.Grid{Apps: []string{"hpccg"}, Procs: []int{9},
+		Modes: []scenario.Mode{scenario.Intra}}).Expand(); err == nil ||
+		!strings.Contains(err.Error(), "divisible") {
+		t.Fatalf("odd budget at degree 2 must error, got %v", err)
+	}
+}
+
+func TestGridExpandFixedSizeAndDedup(t *testing.T) {
+	g := scenario.Grid{Apps: []string{"gtc"}, Procs: []int{6}, Degrees: []int{2, 3}}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// native once (degree axis collapses), classic and intra per degree.
+	natives := 0
+	for _, sc := range scs {
+		if sc.Mode == scenario.Native {
+			natives++
+		}
+		if sc.Logical != 6 {
+			t.Fatalf("fixed-size app must pin logical ranks: %+v", sc)
+		}
+	}
+	if natives != 1 || len(scs) != 5 {
+		t.Fatalf("expected 1 native + 4 replicated, got %d natives of %d", natives, len(scs))
+	}
+}
+
+func TestGridExpandPlatformAxes(t *testing.T) {
+	g := scenario.Grid{Apps: []string{"gtc"}, Procs: []int{4},
+		Modes: []scenario.Mode{scenario.Intra}, Nets: []string{"ib20g", "eth10g"}}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("expected one point per net, got %d", len(scs))
+	}
+	if !strings.Contains(scs[0].Name, "ib20g") || !strings.Contains(scs[1].Name, "eth10g") {
+		t.Fatalf("multi-net grids must name the net: %q, %q", scs[0].Name, scs[1].Name)
+	}
+	if _, err := (scenario.Grid{Apps: []string{"gtc"}, Procs: []int{4},
+		Nets: []string{"myrinet"}}).Expand(); err == nil {
+		t.Fatal("unknown net in a grid must error")
+	}
+}
+
+func TestFileParse(t *testing.T) {
+	if _, err := scenario.Parse([]byte(`{"scenarios": [], "grids": {}}`)); err == nil {
+		t.Fatal("unknown top-level field must error")
+	}
+	if _, err := scenario.Parse([]byte(`{"name": "empty"}`)); err == nil {
+		t.Fatal("a file without grid or scenarios must error")
+	}
+	f, err := scenario.Parse([]byte(`{
+		"name": "demo",
+		"grid": {"apps": ["gtc"], "procs": [4], "modes": ["native", "intra"]},
+		"scenarios": [{"app": "hpccg", "mode": "classic", "logical": 2}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("grid (2) + explicit (1) = %d", len(scs))
+	}
+	if scs[2].App != "hpccg" || scs[2].Mode != scenario.Classic {
+		t.Fatalf("explicit scenario mangled: %+v", scs[2])
+	}
+}
+
+func TestFaultSpecSchedule(t *testing.T) {
+	var nilSpec *scenario.FaultSpec
+	if nilSpec.Schedule() != nil {
+		t.Fatal("nil fault spec must give a nil schedule")
+	}
+	f := &scenario.FaultSpec{Crashes: []scenario.Crash{{Logical: 1, Lane: 1, AtSeconds: 0.25}}}
+	s := f.Schedule()
+	if len(s.Crashes) != 1 || s.Crashes[0].Time.Seconds() != 0.25 {
+		t.Fatalf("schedule conversion wrong: %+v", s)
+	}
+}

@@ -18,6 +18,7 @@ package simnet
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -54,10 +55,40 @@ var Ethernet10G = Config{
 	CoresPerNode:   4,
 }
 
-// Nets names the interconnect models available to the sweep CLI.
-var Nets = map[string]Config{
-	"ib20g":  InfiniBand20G,
-	"eth10g": Ethernet10G,
+// Nets names the interconnect models available as scenario platform axes.
+// Entries are added via Register; the built-in models register below.
+var Nets = map[string]Config{}
+
+// DefaultNetName is the registry name of the paper's interconnect: the
+// model a scenario selects when it omits its net.
+const DefaultNetName = "ib20g"
+
+// Register adds a named interconnect model to the Nets registry. Names are
+// scenario-file and CLI currency, so a duplicate is a programming error and
+// panics.
+func Register(name string, cfg Config) {
+	if name == "" {
+		panic("simnet: Register with empty name")
+	}
+	if _, dup := Nets[name]; dup {
+		panic(fmt.Sprintf("simnet: net %q registered twice", name))
+	}
+	Nets[name] = cfg
+}
+
+// NetNames returns the registered interconnect names, sorted.
+func NetNames() []string {
+	names := make([]string, 0, len(Nets))
+	for n := range Nets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(DefaultNetName, InfiniBand20G)
+	Register("eth10g", Ethernet10G)
 }
 
 // Node is one cluster node's NIC state.
