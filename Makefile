@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench lint sweep figures campaign check-docs validate-scenarios
+.PHONY: build test bench lint sweep figures campaign campaign-ccr check-docs validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,9 @@ figures:
 
 campaign:
 	$(GO) run ./cmd/sweep -mode campaign -app gtc -procs 32 -mtbf 0.01,0.1,1
+
+campaign-ccr:
+	$(GO) run ./cmd/sweep -spec scenarios/campaign-ccr-vs-replication.json -mode campaign
 
 validate-scenarios:
 	@for f in scenarios/*.json; do \

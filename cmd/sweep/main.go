@@ -33,6 +33,21 @@
 //	sweep -mode campaign -app hpccg -procs 16 -mtbf 0.05,0.2,1
 //	sweep -mode campaign -app gtc -modes intra -trials 200 -seed 7 -json
 //
+// -ft ccr adds the measured checkpoint/restart side of the §II comparison:
+// a cCR series at the native resource budget, measured by replaying each
+// point's native makespan under seeded failures with periodic checkpoints,
+// rollbacks and restarts (internal/ckptsim), reported in a three-way table
+// — measured replication, measured cCR, Daly's analytic prediction — with
+// the measured crossover MTBF next to ckpt.CrossoverMTBF. Weak-scaling
+// apps share one physical budget across the sides; fixed-size apps follow
+// the grid convention of placing replicas on extra resources (degree×
+// procs), and the efficiency metric is resource-normalized so the
+// comparison stays commensurable:
+//
+//	sweep -mode campaign -ft ccr -app gtc -procs 8 -mtbf 0.01,0.1,1
+//	sweep -mode campaign -ft ccr -app hpccg -ckpt-tau 0.05 -ckpt-delta 0.01 -mtbf 0.05,0.5
+//	sweep -spec scenarios/campaign-ccr-vs-replication.json -mode campaign
+//
 // -list enumerates every registry: applications, figures, interconnect and
 // machine models. Identical points inside one sweep are simulated once
 // (content-keyed memo); results keep the grid order regardless of the
@@ -77,8 +92,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign: master seed (trial seeds derive deterministically)")
 	mtbfFlag := flag.String("mtbf", "0.2", "campaign: comma-separated per-replica MTBF values in virtual seconds")
 	horizon := flag.Float64("horizon", 0, "campaign: crash-window in virtual seconds (0 = fault-free wall time; crashes drawn past a run's completion are no-ops)")
-	ckptDelta := flag.Float64("ckpt-delta", 0, "campaign: analytic checkpoint cost in seconds (0 = 5% of fault-free wall)")
-	ckptRestart := flag.Float64("ckpt-restart", 0, "campaign: analytic restart cost in seconds (0 = ckpt-delta)")
+	ckptDelta := flag.Float64("ckpt-delta", 0, "campaign: checkpoint cost in seconds, analytic and measured ccr (0 = 5% of fault-free wall)")
+	ckptRestart := flag.Float64("ckpt-restart", 0, "campaign: restart cost in seconds, analytic and measured ccr (0 = ckpt-delta)")
+	ckptTau := flag.Float64("ckpt-tau", 0, "campaign: ccr checkpoint interval in seconds (0 = Daly's optimal interval per point)")
+	ft := flag.String("ft", "replication", "campaign: fault-tolerance sides to measure — 'replication' (the -modes grid) or 'ccr' (adds a measured checkpoint/restart series at the native budget next to it)")
 	flag.Parse()
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
@@ -94,16 +111,25 @@ func main() {
 	}
 
 	if *modeFlag != "campaign" {
-		for _, flagName := range []string{"trials", "seed", "mtbf", "horizon", "ckpt-delta", "ckpt-restart"} {
+		for _, flagName := range []string{"trials", "seed", "mtbf", "horizon", "ckpt-delta", "ckpt-restart", "ckpt-tau", "ft"} {
 			if setFlags[flagName] {
 				fail("-%s requires -mode campaign", flagName)
 			}
 		}
 	}
+	measureCCR := false
+	switch *ft {
+	case "replication":
+	case "ccr", "ccr,replication", "replication,ccr":
+		measureCCR = true
+	default:
+		fail("unknown -ft %q (replication | ccr)", *ft)
+	}
 
 	ccfg := campaign.Config{
 		Trials: *trials, Seed: *seed, Workers: *workers,
-		Horizon: sim.Seconds(*horizon), CkptDelta: *ckptDelta, CkptRestart: *ckptRestart,
+		Horizon:   sim.Seconds(*horizon),
+		CkptDelta: *ckptDelta, CkptRestart: *ckptRestart, CkptTau: *ckptTau,
 	}
 
 	switch {
@@ -111,7 +137,7 @@ func main() {
 		fail("-validate needs a -spec file")
 	case *specFile != "":
 		for _, flagName := range []string{"figures", "app", "modes", "procs", "degrees",
-			"iters", "tasks", "net", "machine", "mtbf"} {
+			"iters", "tasks", "net", "machine", "mtbf", "ft"} {
 			if setFlags[flagName] {
 				fail("-%s conflicts with -spec: the scenario file is the whole grid", flagName)
 			}
@@ -148,7 +174,7 @@ func main() {
 			modes = "classic,intra" // campaigns need replicas to crash
 		}
 		scs, err := campaignGrid(*app, modes, *procsFlag, *degreesFlag, *iters, *tasks,
-			*netName, *machineName, *mtbfFlag)
+			*netName, *machineName, *mtbfFlag, measureCCR)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -431,9 +457,15 @@ func runSpecFile(w io.Writer, f *scenario.File, workers int, jsonOut bool) error
 }
 
 // campaignGrid builds the campaign scenario grid from the grid flags and
-// the MTBF axis, using each app's registered paper protocol.
+// the MTBF axis, using each app's registered paper protocol. With
+// measureCCR, every (app, procs) point additionally gets a measured
+// coordinated checkpoint/restart series over the same MTBF axis at the
+// native budget — the paper's Fig. 1 comparison. For weak-scaling apps
+// both sides occupy the same -procs physical budget; fixed-size apps
+// keep the grid convention (replicated points add replica resources,
+// phys = procs×degree) and rely on resource-normalized efficiency.
 func campaignGrid(apps, modesFlag, procsFlag, degreesFlag string, iters, tasks int,
-	netName, machineName, mtbfFlag string) ([]campaign.Scenario, error) {
+	netName, machineName, mtbfFlag string, measureCCR bool) ([]campaign.Scenario, error) {
 	modes := parseModes(modesFlag)
 	procs := parseInts(procsFlag)
 	degrees := parseInts(degreesFlag)
@@ -449,9 +481,25 @@ func campaignGrid(apps, modesFlag, procsFlag, degreesFlag string, iters, tasks i
 			return nil, fmt.Errorf("app %q has no paper grid binding", appName)
 		}
 		for _, p := range procs {
+			if measureCCR {
+				// The ccr series runs the app unreplicated on the full
+				// physical budget; checkpoint parameters come from the
+				// -ckpt-* flags (campaign.Config) or their defaults.
+				for _, m := range mtbfs {
+					out = append(out, campaign.Scenario{
+						MTBF: sim.Seconds(m),
+						Point: scenario.Scenario{
+							Name: fmt.Sprintf("%s/ccr/p%d/mtbf%g", appName, p, m),
+							App:  appName, Config: scenario.MustRaw(ent.Paper(iters, tasks)),
+							Mode: scenario.CCR, Logical: p,
+							Net: netName, Machine: machineName,
+						},
+					})
+				}
+			}
 			for _, mode := range modes {
 				if !mode.Replicated() {
-					return nil, fmt.Errorf("campaign mode %s has no replicas to crash (use classic and/or intra)", mode)
+					return nil, fmt.Errorf("campaign mode %s has no replicas to crash (use classic and/or intra; -ft ccr adds the checkpoint/restart side)", mode)
 				}
 				for _, d := range degrees {
 					for _, m := range mtbfs {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/scenario"
 )
 
@@ -67,5 +68,73 @@ func TestSpecFileWorkerIndependence(t *testing.T) {
 	}
 	if zeroElapsed(t, serial.String()) != zeroElapsed(t, parallel.String()) {
 		t.Fatal("worker count changed the spec-file output")
+	}
+}
+
+// TestCampaignCCRSpecWorkerIndependence runs the checked-in Fig. 1-style
+// comparison file serially and fully parallel: the three-way JSON
+// aggregate (measured cCR, measured replication, analytic models,
+// crossovers) must be byte-identical — the acceptance property the CI
+// smoke enforces via the real binary.
+func TestCampaignCCRSpecWorkerIndependence(t *testing.T) {
+	f, err := scenario.Load("../../scenarios/campaign-ccr-vs-replication.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) string {
+		cfg := campaign.Config{Trials: 3, Seed: 9, Workers: workers}
+		var buf bytes.Buffer
+		if err := runCampaignSpec(&buf, f, cfg, true); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := run(1)
+	if parallel := run(8); parallel != serial {
+		t.Fatal("worker count changed the ccr campaign output")
+	}
+	for _, want := range []string{`"mode": "cCR"`, `"mode": "SDR-MPI"`, `"mode": "intra"`,
+		`"crossovers"`, `"ckpt_tau_seconds"`} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("three-way aggregate missing %s", want)
+		}
+	}
+}
+
+// TestCampaignCCRFlagGrid: -ft ccr adds a measured checkpoint/restart
+// series next to the replicated modes, at the full physical budget.
+func TestCampaignCCRFlagGrid(t *testing.T) {
+	scs, err := campaignGrid("gtc", "classic,intra", "8", "2", 2, 0,
+		"ib20g", "grid5000", "0.05,0.5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ccr, repl int
+	for _, sc := range scs {
+		if sc.Point.Mode == scenario.CCR {
+			ccr++
+			if sc.Point.Logical != 8 {
+				t.Fatalf("ccr point must use the full budget: %+v", sc.Point)
+			}
+		} else {
+			repl++
+		}
+	}
+	if ccr != 2 || repl != 4 {
+		t.Fatalf("grid has %d ccr + %d replicated points, want 2 + 4", ccr, repl)
+	}
+	// Without -ft ccr the grid is unchanged.
+	scs, err = campaignGrid("gtc", "classic,intra", "8", "2", 2, 0,
+		"ib20g", "grid5000", "0.05,0.5", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if sc.Point.Mode == scenario.CCR {
+			t.Fatal("-ft replication must not add ccr points")
+		}
+	}
+	if len(scs) != 4 {
+		t.Fatalf("replication-only grid has %d points, want 4", len(scs))
 	}
 }

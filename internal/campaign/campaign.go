@@ -4,26 +4,38 @@
 // into expected-makespan, workload-efficiency and failure-survival
 // statistics with confidence intervals.
 //
-// A campaign extends the paper's §II analysis with measured data: where
-// internal/ckpt predicts analytically how coordinated checkpoint/restart
-// collapses with shrinking MTBF while replication holds its (intra-boosted)
-// efficiency, a campaign measures the replicated side by actually crashing
-// replicas mid-run and timing the recovered executions, and reports both
-// next to each other.
+// A campaign measures both sides of the paper's §II comparison. The
+// replicated side crashes replicas mid-run (clamped fault.ExponentialDraw
+// schedules) and times the recovered executions. The checkpoint/restart
+// side (scenario mode "ccr") measures the competing scheme the same way:
+// the scenario's fault-free makespan — one memoized native sweep run — is
+// replayed per trial under an unclamped seeded failure trace with periodic
+// checkpoints, rollback re-execution and restarts (internal/ckptsim), and
+// both measured series are reported next to Daly's analytic prediction,
+// including the crossover MTBF found from the measured data next to
+// ckpt.CrossoverMTBF.
 //
-// Every trial is one experiments.Spec, so campaigns inherit the sweep
-// runner's worker pool, content-keyed memo and deterministic ordering:
-// trials whose draw contains no crash are simulated once and served from
-// the memo, and the aggregate output is byte-identical for any worker
-// count. All randomness flows from Config.Seed through fault.TrialSeed, so
-// a campaign is reproducible from (seed, scenario grid) alone.
+// Every replicated trial is one experiments.Spec, so campaigns inherit the
+// sweep runner's worker pool, content-keyed memo and deterministic
+// ordering: trials whose draw contains no crash are simulated once and
+// served from the memo, and the aggregate output is byte-identical for any
+// worker count. The ccr trials fan out over the same worker count, each a
+// deterministic replay. All randomness flows from Config.Seed through
+// fault.TrialSeed, so a campaign is reproducible from (seed, scenario
+// grid) alone.
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ckpt"
+	"repro/internal/ckptsim"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/scenario"
@@ -31,14 +43,15 @@ import (
 )
 
 // Scenario is one point of the campaign grid: a canonical scenario under a
-// replicated fault-tolerance mode, subjected to an exponential per-replica
-// failure process of mean MTBF. The campaign layer is a thin adapter over
-// scenario.Scenario: every reference and trial run goes through
-// experiments.SpecFor.
+// replicated or checkpoint/restart fault-tolerance mode, subjected to an
+// exponential per-replica failure process of mean MTBF. The campaign layer
+// is a thin adapter over scenario.Scenario: every reference and trial run
+// goes through experiments.SpecFor.
 type Scenario struct {
-	// Point is the replicated scenario the failures perturb, in its
-	// fault-free form (its Fault field must be empty; the campaign draws
-	// the schedules).
+	// Point is the scenario the failures perturb, in its fault-free form
+	// (its Fault field must be empty; the campaign draws the schedules).
+	// Replicated modes crash replicas inside the simulation; ccr points
+	// replay their native makespan under ckptsim.
 	Point scenario.Scenario
 	// MTBF is the per-replica mean time between failures.
 	MTBF sim.Time
@@ -80,9 +93,12 @@ func FromScenario(sc scenario.Scenario) (Scenario, error) {
 }
 
 // weakScalingNative builds the weak-scaling native reference of a point,
-// or nil for fixed-size apps (whose reference is the point itself in
-// native mode).
+// or nil for fixed-size apps and unreplicated (ccr) points, whose
+// reference is the point itself in native mode.
 func weakScalingNative(sc scenario.Scenario) (*scenario.Scenario, error) {
+	if !sc.Mode.Replicated() {
+		return nil, nil
+	}
 	ent, err := scenario.AppByName(sc.App)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
@@ -120,6 +136,7 @@ func (sc Scenario) nativeScenario() scenario.Scenario {
 	n.Mode = scenario.Native
 	n.Degree = 0
 	n.Intra = nil
+	n.Ckpt = nil
 	n.Fault = nil
 	return n
 }
@@ -130,21 +147,60 @@ type Config struct {
 	Seed    int64 // master seed; trial seeds derive via fault.TrialSeed
 	Workers int   // sweep workers (0 = GOMAXPROCS)
 
-	// Horizon bounds the crash-drawing window. Zero uses each scenario's
-	// measured fault-free wall time, so the failure process covers exactly
-	// the execution it perturbs.
+	// Horizon bounds the crash-drawing window — a hard cap for every
+	// fault-tolerance side. Zero uses each scenario's measured fault-free
+	// wall time (checkpoints included for ccr points), and the defaulted
+	// ccr window additionally grows until it covers a failure-stretched
+	// makespan, so the failure process covers exactly the execution it
+	// perturbs.
 	Horizon sim.Time
 
-	// CkptDelta / CkptRestart parameterize the analytic cCR comparison
-	// (seconds). Zero defaults delta to 5% of the scenario's fault-free
-	// wall time and restart to delta.
+	// CkptDelta / CkptRestart parameterize the cCR machine — both the
+	// analytic comparison and the measured ccr-mode replays — in seconds.
+	// Zero defaults delta to 5% of the scenario's fault-free wall time and
+	// restart to delta. CkptTau is the ccr replay's checkpoint interval
+	// (0 = Daly's optimal interval at each scenario's system MTBF). A
+	// scenario's own Ckpt options take precedence over all three.
 	CkptDelta   float64
 	CkptRestart float64
+	CkptTau     float64
+}
+
+// ckptParams resolves the cCR machine parameters of one scenario from the
+// scenario's Ckpt options, the campaign config, and the defaults, given
+// the measured native wall time W and the system MTBF.
+func (cfg Config) ckptParams(sc Scenario, w, sysMTBF float64) ckptsim.Params {
+	var o scenario.CkptOptions
+	if sc.Point.Ckpt != nil {
+		o = *sc.Point.Ckpt
+	}
+	p := ckptsim.Params{Tau: o.TauSeconds, Delta: o.DeltaSeconds, Restart: o.RestartSeconds}
+	if p.Delta == 0 {
+		p.Delta = cfg.CkptDelta
+	}
+	if p.Delta == 0 {
+		p.Delta = 0.05 * w
+	}
+	if p.Restart == 0 {
+		p.Restart = cfg.CkptRestart
+	}
+	if p.Restart == 0 {
+		p.Restart = p.Delta
+	}
+	if p.Tau == 0 {
+		p.Tau = cfg.CkptTau
+	}
+	if p.Tau == 0 {
+		p.Tau = ckpt.OptimalInterval(p.Delta, p.Restart, sysMTBF)
+	}
+	return p
 }
 
 // Stat summarizes one metric over a scenario's trials: mean, sample
 // standard deviation, 95% confidence half-width (normal approximation),
-// and range.
+// and range. With fewer than two samples there is no dispersion estimate:
+// CI95 is NaN (JSON null, "-" in tables), never a misleading zero that
+// reads as a perfectly tight interval.
 type Stat struct {
 	Mean float64 `json:"mean"`
 	Std  float64 `json:"std"`
@@ -153,11 +209,43 @@ type Stat struct {
 	Max  float64 `json:"max"`
 }
 
+// statJSON is the wire form of Stat: ci95 is nullable because NaN has no
+// JSON encoding.
+type statJSON struct {
+	Mean float64  `json:"mean"`
+	Std  float64  `json:"std"`
+	CI95 *float64 `json:"ci95"`
+	Min  float64  `json:"min"`
+	Max  float64  `json:"max"`
+}
+
+// MarshalJSON encodes an undefined CI95 (fewer than two trials) as null.
+func (s Stat) MarshalJSON() ([]byte, error) {
+	w := statJSON{Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max}
+	if !math.IsNaN(s.CI95) {
+		w.CI95 = &s.CI95
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a null ci95 back to NaN.
+func (s *Stat) UnmarshalJSON(b []byte) error {
+	var w statJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = Stat{Mean: w.Mean, Std: w.Std, CI95: math.NaN(), Min: w.Min, Max: w.Max}
+	if w.CI95 != nil {
+		s.CI95 = *w.CI95
+	}
+	return nil
+}
+
 func newStat(xs []float64) Stat {
 	if len(xs) == 0 {
-		return Stat{}
+		return Stat{CI95: math.NaN()}
 	}
-	s := Stat{Min: xs[0], Max: xs[0]}
+	s := Stat{Min: xs[0], Max: xs[0], CI95: math.NaN()}
 	for _, x := range xs {
 		s.Mean += x
 		s.Min = math.Min(s.Min, x)
@@ -196,21 +284,52 @@ type CrashStats struct {
 type Analytic struct {
 	CkptDeltaSeconds   float64 `json:"ckpt_delta_seconds"`
 	CkptRestartSeconds float64 `json:"ckpt_restart_seconds"`
+	// CkptTauSeconds is the checkpoint interval a ccr scenario's replays
+	// actually ran (Daly's optimal interval unless overridden); zero for
+	// replicated scenarios, which never checkpoint inside a run.
+	CkptTauSeconds float64 `json:"ckpt_tau_seconds,omitempty"`
 	// SystemMTBFSeconds is the MTBF of an unreplicated system on the same
 	// node count (MTBF / phys procs): the platform a cCR scheme would run
 	// on.
 	SystemMTBFSeconds float64 `json:"system_mtbf_seconds"`
-	// CCREfficiency is Daly's best-interval cCR efficiency at that system
-	// MTBF.
+	// CCREfficiency is Daly's analytic cCR efficiency at that system MTBF:
+	// for ccr scenarios, at the interval the replays ran (CkptTauSeconds),
+	// so measured and analytic describe the same machine; for replicated
+	// scenarios, at the optimal interval.
 	CCREfficiency float64 `json:"ccr_efficiency"`
 	// ReplEfficiency is the Ferreira-style replicated efficiency using the
 	// measured fault-free efficiency as base (exact for degree 2, the
-	// paper's configuration; an approximation otherwise).
-	ReplEfficiency float64 `json:"repl_efficiency"`
+	// paper's configuration; an approximation otherwise). Zero for ccr
+	// scenarios, which have no replicas to model.
+	ReplEfficiency float64 `json:"repl_efficiency,omitempty"`
 	// CrossoverNodeMTBFSeconds is the per-node MTBF below which cCR on
 	// this node count drops under the scenario's measured fault-free
-	// efficiency — i.e. where replication starts to win.
-	CrossoverNodeMTBFSeconds float64 `json:"crossover_node_mtbf_seconds"`
+	// efficiency — i.e. where replication starts to win. Zero for ccr
+	// scenarios (see Result.Crossovers for the measured pairing).
+	CrossoverNodeMTBFSeconds float64 `json:"crossover_node_mtbf_seconds,omitempty"`
+}
+
+// Crossover pairs a measured ccr series with a measured replication series
+// that shares its native baseline, and reports the per-node MTBF at which
+// the measured ccr efficiency drops below the measured replicated
+// efficiency — the paper's Fig. 1 crossover — next to the analytic
+// ckpt.CrossoverMTBF prediction at the same operating point.
+type Crossover struct {
+	App      string `json:"app"`
+	ReplMode string `json:"repl_mode"` // replicated series: display mode name
+	Logical  int    `json:"logical"`   // logical ranks of the replicated series
+	Degree   int    `json:"degree"`
+	// CCRPhysProcs is the node count of the paired ccr series — the
+	// machine whose per-node MTBF both axes below are expressed in.
+	CCRPhysProcs int `json:"ccr_phys_procs"`
+	// MeasuredNodeMTBFSeconds is log-interpolated between the two sampled
+	// MTBF points whose measured efficiencies bracket the crossover; zero
+	// when the sampled grid never crosses.
+	MeasuredNodeMTBFSeconds float64 `json:"measured_node_mtbf_seconds"`
+	// AnalyticNodeMTBFSeconds is ckpt.CrossoverMTBF(delta, restart,
+	// measured replicated fault-free efficiency), scaled from system to
+	// per-node MTBF by the ccr node count.
+	AnalyticNodeMTBFSeconds float64 `json:"analytic_node_mtbf_seconds"`
 }
 
 // ScenarioResult aggregates one scenario's trials.
@@ -242,17 +361,23 @@ type ScenarioResult struct {
 }
 
 // Result is a whole campaign: the reproducibility envelope plus one
-// aggregate per scenario, in grid order.
+// aggregate per scenario, in grid order, and the measured ccr-vs-
+// replication crossovers the grid supports.
 type Result struct {
 	Seed      int64            `json:"seed"`
 	Trials    int              `json:"trials"`
 	Scenarios []ScenarioResult `json:"scenarios"`
+	// Crossovers is present when the grid pairs ccr and replicated series
+	// over a shared MTBF axis and native baseline.
+	Crossovers []Crossover `json:"crossovers,omitempty"`
 }
 
 // Run executes the campaign: two fault-free reference runs per scenario
-// (native and scenario-mode), then Trials seeded failure injections per
-// scenario, all fanned out through the experiments sweep pool, then the
-// deterministic aggregation.
+// (native and scenario-mode; a ccr point's reference memo-hits its own
+// native baseline), then Trials seeded failure injections per scenario —
+// simulated crash schedules for replicated points, ckptsim replays for ccr
+// points — all fanned out over the worker count, then the deterministic
+// aggregation including the measured crossovers.
 func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 	trials := cfg.Trials
 	if trials <= 0 {
@@ -261,9 +386,13 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("campaign: no scenarios")
 	}
+	if cfg.CkptDelta < 0 || cfg.CkptRestart < 0 || cfg.CkptTau < 0 {
+		return nil, fmt.Errorf("campaign: negative checkpoint parameter")
+	}
 	for _, sc := range scenarios {
-		if !sc.Point.Mode.Replicated() {
-			return nil, fmt.Errorf("campaign: scenario %q: mode %s is not replicated", sc.Point.Name, sc.Point.Mode)
+		if !sc.Point.Mode.Replicated() && sc.Point.Mode != scenario.CCR {
+			return nil, fmt.Errorf("campaign: scenario %q: mode %s has no failures to survive (use classic, intra or ccr)",
+				sc.Point.Name, sc.Point.Mode)
 		}
 		if sc.MTBF <= 0 {
 			return nil, fmt.Errorf("campaign: scenario %q: MTBF must be positive", sc.Point.Name)
@@ -296,22 +425,50 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 		return nil, fmt.Errorf("campaign references: %w", err)
 	}
 
-	// Phase 2: draw and run the trials, one Spec each, all scenarios in a
-	// single sweep so the pool stays saturated across the whole grid.
+	// Phase 2a: replicated trials. Draw and run them, one Spec each, all
+	// scenarios in a single sweep so the pool stays saturated across the
+	// whole grid. trialAt maps a scenario to its slice of the spec list
+	// (-1 for ccr scenarios, whose trials never enter the simulator).
 	var specs []experiments.Spec
 	draws := make([][]fault.Draw, len(scenarios))
+	trialAt := make([]int, len(scenarios))
 	// Horizon resolution happens exactly once per scenario: the draws and
-	// the reported HorizonSeconds must describe the same window.
+	// the reported HorizonSeconds must describe the same window. An
+	// explicitly configured horizon is a hard cap on the failure window
+	// for every fault-tolerance side; only the defaulted ccr window grows
+	// with the makespan.
 	horizons := make([]sim.Time, len(scenarios))
+	grow := make([]bool, len(scenarios))
+	params := make([]ckptsim.Params, len(scenarios))
 	for i, sc := range scenarios {
 		horizon := sc.Horizon
 		if horizon == 0 {
 			horizon = cfg.Horizon
 		}
+		if sc.Point.Mode == scenario.CCR {
+			trialAt[i] = -1
+			w := baseRes[2*i].Measure.Wall.Seconds()
+			params[i] = cfg.ckptParams(sc, w, sc.MTBF.Seconds()/float64(sc.Point.Logical))
+			if err := params[i].Validate(); err != nil {
+				return nil, fmt.Errorf("campaign: scenario %q: %w", sc.Point.Name, err)
+			}
+			if horizon == 0 {
+				// The base draw window is the zero-failure ccr makespan; the
+				// replay loop grows it per trial until it covers the
+				// failure-stretched run. An explicit horizon stays a cap —
+				// the same meaning it has for replicated draws — so the two
+				// sides of one table never see different failure windows.
+				horizon = sim.Seconds(params[i].FaultFreeMakespan(w))
+				grow[i] = true
+			}
+			horizons[i] = horizon
+			continue
+		}
 		if horizon == 0 {
 			horizon = baseRes[2*i+1].Measure.Wall
 		}
 		horizons[i] = horizon
+		trialAt[i] = len(specs)
 		draws[i] = make([]fault.Draw, trials)
 		for t := 0; t < trials; t++ {
 			d := fault.ExponentialDraw(sc.Point.Logical, sc.Point.EffectiveDegree(), sc.MTBF, horizons[i],
@@ -328,50 +485,97 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 		return nil, fmt.Errorf("campaign trials: %w", err)
 	}
 
+	// Phase 2b: ccr replays, fanned out over the same worker count. Each
+	// replay is independent and deterministic in (seed, scenario, trial),
+	// so the fan-out cannot affect the aggregate.
+	replays := runCCRTrials(cfg, scenarios, trials, baseRes, params, horizons, grow)
+
 	// Phase 3: aggregate per scenario, in grid order.
 	out := &Result{Seed: cfg.Seed, Trials: trials}
 	for i, sc := range scenarios {
 		native, ff := baseRes[2*i], baseRes[2*i+1]
-		ffWall := ff.Measure.Wall.Seconds()
-		ffEff := experiments.Efficiency(native.Measure, ff.Measure)
+		mtbfS := sc.MTBF.Seconds()
 
 		walls := make([]float64, trials)
-		slowdowns := make([]float64, trials)
-		effs := make([]float64, trials)
 		var cs CrashStats
 		memoHits := 0
-		for t := 0; t < trials; t++ {
-			r := trialRes[i*trials+t]
-			walls[t] = r.Measure.Wall.Seconds()
-			slowdowns[t] = walls[t] / ffWall
-			effs[t] = ffEff / slowdowns[t]
-			cs.Total += r.Crashes
-			if r.Crashes > 0 {
-				cs.TrialsWithCrash++
+		var ffWall, ffEff float64
+		var analytic Analytic
+		phys := ff.PhysProcs
+
+		if sc.Point.Mode == scenario.CCR {
+			// Measured side: replays of the native makespan under cCR. The
+			// "fault-free" run of a ccr scenario is the zero-failure replay:
+			// checkpoints included, failures excluded.
+			w := native.Measure.Wall.Seconds()
+			p := params[i]
+			ffWall = p.FaultFreeMakespan(w)
+			ffEff = w / ffWall * experiments.Efficiency(native.Measure, ff.Measure)
+			for t := 0; t < trials; t++ {
+				tr := replays[i][t]
+				walls[t] = tr.Makespan
+				cs.Total += tr.Failures
+				if tr.Failures > 0 {
+					cs.TrialsWithCrash++
+				}
+				if tr.Failures > cs.MaxPerTrial {
+					cs.MaxPerTrial = tr.Failures
+				}
 			}
-			if r.Crashes > cs.MaxPerTrial {
-				cs.MaxPerTrial = r.Crashes
+			sysMTBF := mtbfS / float64(phys)
+			analytic = Analytic{
+				CkptDeltaSeconds:   p.Delta,
+				CkptRestartSeconds: p.Restart,
+				CkptTauSeconds:     p.Tau,
+				SystemMTBFSeconds:  sysMTBF,
+				CCREfficiency:      ckpt.Efficiency(p.Tau, p.Delta, p.Restart, sysMTBF),
 			}
-			if d := draws[i][t]; d.Suppressed > 0 {
-				cs.SuppressedKills += d.Suppressed
-				cs.InterruptedDraws++
+		} else {
+			ffWall = ff.Measure.Wall.Seconds()
+			ffEff = experiments.Efficiency(native.Measure, ff.Measure)
+			for t := 0; t < trials; t++ {
+				r := trialRes[trialAt[i]+t]
+				walls[t] = r.Measure.Wall.Seconds()
+				cs.Total += r.Crashes
+				if r.Crashes > 0 {
+					cs.TrialsWithCrash++
+				}
+				if r.Crashes > cs.MaxPerTrial {
+					cs.MaxPerTrial = r.Crashes
+				}
+				if d := draws[i][t]; d.Suppressed > 0 {
+					cs.SuppressedKills += d.Suppressed
+					cs.InterruptedDraws++
+				}
+				if r.Memoized {
+					memoHits++
+				}
 			}
-			if r.Memoized {
-				memoHits++
+			delta := cfg.CkptDelta
+			if delta <= 0 {
+				delta = 0.05 * ffWall
+			}
+			restart := cfg.CkptRestart
+			if restart <= 0 {
+				restart = delta
+			}
+			analytic = Analytic{
+				CkptDeltaSeconds:         delta,
+				CkptRestartSeconds:       restart,
+				SystemMTBFSeconds:        mtbfS / float64(phys),
+				CCREfficiency:            ckpt.BestEfficiency(delta, restart, mtbfS/float64(phys)),
+				ReplEfficiency:           ckpt.ReplicatedEfficiency(ffEff, sc.Point.Logical, mtbfS, delta, restart),
+				CrossoverNodeMTBFSeconds: ckpt.CrossoverMTBF(delta, restart, ffEff) * float64(phys),
 			}
 		}
 		cs.MeanPerTrial = float64(cs.Total) / float64(trials)
 
-		delta := cfg.CkptDelta
-		if delta <= 0 {
-			delta = 0.05 * ffWall
+		slowdowns := make([]float64, trials)
+		effs := make([]float64, trials)
+		for t := range walls {
+			slowdowns[t] = walls[t] / ffWall
+			effs[t] = ffEff / slowdowns[t]
 		}
-		restart := cfg.CkptRestart
-		if restart <= 0 {
-			restart = delta
-		}
-		phys := ff.PhysProcs
-		mtbfS := sc.MTBF.Seconds()
 		out.Scenarios = append(out.Scenarios, ScenarioResult{
 			Name: sc.Point.Name, App: sc.Point.App, Mode: sc.Point.Mode.String(),
 			Logical: sc.Point.Logical, Degree: sc.Point.EffectiveDegree(), PhysProcs: phys,
@@ -385,21 +589,210 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 			Efficiency:           newStat(effs),
 			Crashes:              cs,
 			MemoHits:             memoHits,
-			Analytic: Analytic{
-				CkptDeltaSeconds:         delta,
-				CkptRestartSeconds:       restart,
-				SystemMTBFSeconds:        mtbfS / float64(phys),
-				CCREfficiency:            ckpt.BestEfficiency(delta, restart, mtbfS/float64(phys)),
-				ReplEfficiency:           ckpt.ReplicatedEfficiency(ffEff, sc.Point.Logical, mtbfS, delta, restart),
-				CrossoverNodeMTBFSeconds: ckpt.CrossoverMTBF(delta, restart, ffEff) * float64(phys),
-			},
+			Analytic:             analytic,
 		})
 	}
+	out.Crossovers = crossovers(scenarios, out.Scenarios)
 	return out, nil
 }
 
-// Table renders the campaign as the "efficiency vs MTBF" figure family: one
-// row per scenario, measured statistics next to the analytic §II models.
+// maxHorizonDoublings bounds the ccr draw-window growth; past it the
+// remaining tail of an effectively-stalled operating point (expected
+// makespan > ~10^6 fault-free walls) is truncated rather than drawn.
+const maxHorizonDoublings = 20
+
+// runCCRTrials replays every ccr scenario's trials concurrently on the
+// configured worker count. Results are indexed [scenario][trial]; entries
+// for replicated scenarios are nil.
+func runCCRTrials(cfg Config, scenarios []Scenario, trials int,
+	baseRes []experiments.Result, params []ckptsim.Params, horizons []sim.Time, grow []bool) [][]ckptsim.Trial {
+	out := make([][]ckptsim.Trial, len(scenarios))
+	type job struct{ sc, trial int }
+	var jobs []job
+	for i, sc := range scenarios {
+		if sc.Point.Mode != scenario.CCR {
+			continue
+		}
+		out[i] = make([]ckptsim.Trial, trials)
+		for t := 0; t < trials; t++ {
+			jobs = append(jobs, job{i, t})
+		}
+	}
+	if len(jobs) == 0 {
+		return out
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1))
+				if j >= len(jobs) {
+					return
+				}
+				i, t := jobs[j].sc, jobs[j].trial
+				sc := scenarios[i]
+				work := baseRes[2*i].Measure.Wall.Seconds()
+				out[i][t] = ccrTrial(work, params[i], sc.Point.Logical, sc.MTBF,
+					horizons[i], grow[i], fault.TrialSeed(cfg.Seed, i, t))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ccrTrial draws one unclamped failure trace and replays the work under
+// it. With grow set (the defaulted-horizon case) it doubles the draw
+// window until it covers the failure-stretched makespan — the unclamped
+// draw extends a trace without disturbing the failures already inside
+// it, so growth refines the same trial rather than redrawing it. With an
+// explicit horizon the window is a hard cap, exactly as it is for
+// replicated draws.
+func ccrTrial(work float64, p ckptsim.Params, nodes int, mtbf, horizon sim.Time, grow bool, seed int64) ckptsim.Trial {
+	h := horizon
+	for doublings := 0; ; doublings++ {
+		d := fault.ExponentialDrawUnclamped(nodes, 1, mtbf, h, seed)
+		times := make([]float64, len(d.Schedule.Crashes))
+		for i, c := range d.Schedule.Crashes {
+			times[i] = c.Time.Seconds()
+		}
+		// params were validated in Run; with work >= 0 the replay cannot
+		// fail.
+		tr, err := ckptsim.Replay(work, p, times)
+		if err != nil {
+			panic(fmt.Sprintf("campaign: ccr replay: %v", err))
+		}
+		if !grow || tr.Makespan <= h.Seconds() || doublings >= maxHorizonDoublings {
+			return tr
+		}
+		h *= 2
+	}
+}
+
+// crossovers pairs each ccr series with the replicated series sharing its
+// native baseline and finds where the measured efficiencies cross over
+// the sampled MTBF axis.
+func crossovers(scenarios []Scenario, results []ScenarioResult) []Crossover {
+	// A series is one scenario point swept over MTBF: same native
+	// baseline, mode, sizing. Group in first-appearance order so the
+	// output is deterministic.
+	type seriesKey struct {
+		base            string // native reference fingerprint
+		mode            string
+		logical, degree int
+	}
+	type series struct {
+		key    seriesKey
+		phys   int
+		points []int // indices into results, MTBF ascending (grid order kept)
+	}
+	var order []seriesKey
+	byKey := map[seriesKey]*series{}
+	for i, sc := range scenarios {
+		fp, err := sc.nativeScenario().Fingerprint()
+		if err != nil {
+			continue // phase 1 validated; unreachable in practice
+		}
+		k := seriesKey{fp, results[i].Mode, results[i].Logical, results[i].Degree}
+		s := byKey[k]
+		if s == nil {
+			s = &series{key: k, phys: results[i].PhysProcs}
+			byKey[k] = s
+			order = append(order, k)
+		}
+		s.points = append(s.points, i)
+	}
+	ccrName := scenario.CCR.String()
+	var out []Crossover
+	for _, rk := range order {
+		if rk.mode == ccrName {
+			continue
+		}
+		repl := byKey[rk]
+		for _, ck := range order {
+			if ck.mode != ccrName || ck.base != rk.base {
+				continue
+			}
+			cs := byKey[ck]
+			x := Crossover{
+				App:          results[repl.points[0]].App,
+				ReplMode:     rk.mode,
+				Logical:      rk.logical,
+				Degree:       rk.degree,
+				CCRPhysProcs: cs.phys,
+			}
+			ccrRes := results[cs.points[0]]
+			replRes := results[repl.points[0]]
+			x.AnalyticNodeMTBFSeconds = ckpt.CrossoverMTBF(
+				ccrRes.Analytic.CkptDeltaSeconds, ccrRes.Analytic.CkptRestartSeconds,
+				replRes.FaultFreeEfficiency) * float64(cs.phys)
+			x.MeasuredNodeMTBFSeconds = measuredCrossover(repl.points, cs.points, results)
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// measuredCrossover finds the per-node MTBF where the measured ccr
+// efficiency crosses the measured replicated efficiency, log-interpolated
+// between the bracketing sampled points; 0 when the sampled axis never
+// crosses or the series share fewer than two MTBF values.
+func measuredCrossover(replPts, ccrPts []int, results []ScenarioResult) float64 {
+	replAt := map[float64]float64{}
+	for _, i := range replPts {
+		replAt[results[i].MTBFSeconds] = results[i].Efficiency.Mean
+	}
+	type pt struct{ mtbf, diff float64 }
+	var pts []pt
+	for _, i := range ccrPts {
+		m := results[i].MTBFSeconds
+		if re, ok := replAt[m]; ok {
+			pts = append(pts, pt{m, results[i].Efficiency.Mean - re})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].mtbf < pts[b].mtbf })
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		if a.diff == 0 {
+			return a.mtbf
+		}
+		if (a.diff < 0) == (b.diff < 0) {
+			continue
+		}
+		// Log-linear interpolation between the bracketing MTBFs.
+		la, lb := math.Log(a.mtbf), math.Log(b.mtbf)
+		return math.Exp(la + (lb-la)*(0-a.diff)/(b.diff-a.diff))
+	}
+	if n := len(pts); n > 0 && pts[n-1].diff == 0 {
+		return pts[n-1].mtbf
+	}
+	return 0
+}
+
+// fmtCI renders a confidence half-width, with "-" for the undefined
+// (fewer-than-two-trials) case instead of a misleading 0.
+func fmtCI(ci float64) string {
+	if math.IsNaN(ci) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", ci)
+}
+
+// Table renders the campaign as the "efficiency vs MTBF" figure family:
+// one row per scenario — measured replication and measured cCR series
+// side by side — next to the analytic §II models, with the measured
+// crossovers as footnotes.
 func (r *Result) Table() *experiments.Table {
 	t := &experiments.Table{
 		ID:    "campaign",
@@ -407,20 +800,36 @@ func (r *Result) Table() *experiments.Table {
 		Header: []string{"scenario", "mode", "d", "MTBF (s)", "crash/run",
 			"makespan (s)", "±95%", "eff", "ff eff", "cCR model", "repl model", "memo"},
 	}
+	ccrName := scenario.CCR.String()
 	for _, s := range r.Scenarios {
+		replModel := fmt.Sprintf("%.3f", s.Analytic.ReplEfficiency)
+		if s.Mode == ccrName {
+			replModel = "-" // a ccr point has no replicas to model
+		}
 		t.AddRow(s.Name, s.Mode, fmt.Sprintf("%d", s.Degree),
 			fmt.Sprintf("%.3g", s.MTBFSeconds),
 			fmt.Sprintf("%.2f", s.Crashes.MeanPerTrial),
 			fmt.Sprintf("%.3f", s.Makespan.Mean),
-			fmt.Sprintf("%.4f", s.Makespan.CI95),
+			fmtCI(s.Makespan.CI95),
 			fmt.Sprintf("%.3f", s.Efficiency.Mean),
 			fmt.Sprintf("%.3f", s.FaultFreeEfficiency),
 			fmt.Sprintf("%.3f", s.Analytic.CCREfficiency),
-			fmt.Sprintf("%.3f", s.Analytic.ReplEfficiency),
+			replModel,
 			fmt.Sprintf("%d", s.MemoHits),
 		)
 	}
-	t.Note("eff = fault-free efficiency scaled by the measured failure slowdown; cCR/repl model = §II analytic prediction at the same MTBF")
-	t.Note("below a scenario's crossover node MTBF (see JSON), the cCR model drops under the measured fault-free efficiency and replication wins")
+	t.Note("eff = fault-free efficiency scaled by the measured failure slowdown; cCR/repl model = §II analytic prediction at the same MTBF; ±95%% is '-' with fewer than two trials")
+	t.Note("cCR rows measure coordinated checkpoint/restart by replaying the native makespan under a seeded failure trace (internal/ckptsim)")
+	for _, x := range r.Crossovers {
+		measured := "no crossover inside the sampled MTBF grid"
+		if x.MeasuredNodeMTBFSeconds > 0 {
+			measured = fmt.Sprintf("measured crossover at node MTBF ~%.3g s", x.MeasuredNodeMTBFSeconds)
+		}
+		t.Note("%s vs %s d%d (p%d): %s; analytic ckpt.CrossoverMTBF predicts %.3g s",
+			ccrName, x.ReplMode, x.Degree, x.CCRPhysProcs, measured, x.AnalyticNodeMTBFSeconds)
+	}
+	if len(r.Crossovers) == 0 {
+		t.Note("below a scenario's crossover node MTBF (see JSON), the cCR model drops under the measured fault-free efficiency and replication wins")
+	}
 	return t
 }

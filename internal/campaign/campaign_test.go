@@ -2,6 +2,8 @@ package campaign_test
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -170,7 +172,7 @@ func TestCampaignHorizonBeyondMakespan(t *testing.T) {
 func TestCampaignRejectsBadScenarios(t *testing.T) {
 	_, err := campaign.Run(campaign.Config{Trials: 1},
 		[]campaign.Scenario{{Point: smallPoint("bad", scenario.Native), MTBF: sim.Second}})
-	if err == nil || !strings.Contains(err.Error(), "not replicated") {
+	if err == nil || !strings.Contains(err.Error(), "no failures to survive") {
 		t.Fatalf("native scenario: got %v", err)
 	}
 	_, err = campaign.Run(campaign.Config{Trials: 1},
@@ -255,5 +257,189 @@ func TestCampaignTable(t *testing.T) {
 	}
 	if !strings.Contains(tab.String(), "intra/lowMTBF") {
 		t.Fatal("table missing scenario name")
+	}
+}
+
+// ccrPoint pins tau/delta/R to the tiny test scale (the native wall is
+// ~19 ms, so the default Daly-optimal interval would exceed the whole run
+// and never checkpoint).
+func ccrPoint(name string, mtbf sim.Time) campaign.Scenario {
+	pt := smallPoint(name, scenario.CCR)
+	pt.Ckpt = &scenario.CkptOptions{TauSeconds: 0.002, DeltaSeconds: 0.0005, RestartSeconds: 0.0005}
+	return campaign.Scenario{Point: pt, MTBF: mtbf}
+}
+
+// TestCampaignCCRMeasuredVsAnalytic is the acceptance property of the
+// measured checkpoint/restart side: at a moderate MTBF the mean measured
+// efficiency lands within the documented 15% of Daly's prediction at the
+// same (tau, delta, R, system MTBF) — ckpt.Efficiency — and near the
+// §II collapse it falls below both the moderate-MTBF value and the
+// scenario's fault-free efficiency.
+func TestCampaignCCRMeasuredVsAnalytic(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{Trials: 400, Seed: 2},
+		[]campaign.Scenario{
+			ccrPoint("ccr/moderate", 2*sim.Second),
+			ccrPoint("ccr/collapse", 4*sim.Millisecond),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, low := res.Scenarios[0], res.Scenarios[1]
+	if mod.Mode != "cCR" || mod.Degree != 1 || mod.PhysProcs != 2 {
+		t.Fatalf("ccr identity wrong: %+v", mod)
+	}
+	if mod.Analytic.CkptTauSeconds <= 0 {
+		t.Fatal("ccr row must report the replayed checkpoint interval")
+	}
+	if mod.FaultFreeWallSeconds <= mod.NativeWallSeconds {
+		t.Fatalf("ccr fault-free wall %v must include checkpoint overhead over the native %v",
+			mod.FaultFreeWallSeconds, mod.NativeWallSeconds)
+	}
+	for _, s := range []campaign.ScenarioResult{mod, low} {
+		if s.Analytic.CCREfficiency <= 0 || s.Analytic.CCREfficiency >= 1 {
+			t.Fatalf("%s: analytic eff %v out of range", s.Name, s.Analytic.CCREfficiency)
+		}
+		if rel := (s.Efficiency.Mean - s.Analytic.CCREfficiency) / s.Analytic.CCREfficiency; rel > 0.15 || rel < -0.15 {
+			t.Fatalf("%s: measured eff %v vs Daly %v: off by %.1f%% (> documented 15%%)",
+				s.Name, s.Efficiency.Mean, s.Analytic.CCREfficiency, 100*rel)
+		}
+	}
+	if low.Efficiency.Mean >= mod.Efficiency.Mean {
+		t.Fatalf("efficiency must collapse with MTBF: %v at low vs %v at moderate",
+			low.Efficiency.Mean, mod.Efficiency.Mean)
+	}
+	if low.Efficiency.Mean >= low.FaultFreeEfficiency {
+		t.Fatalf("collapsed efficiency %v above fault-free %v",
+			low.Efficiency.Mean, low.FaultFreeEfficiency)
+	}
+	if low.Crashes.Total == 0 || low.Crashes.MeanPerTrial <= mod.Crashes.MeanPerTrial {
+		t.Fatalf("crash accounting: %+v at low MTBF vs %+v at moderate", low.Crashes, mod.Crashes)
+	}
+}
+
+// TestCampaignThreeWayCrossover runs the Fig. 1-style grid — a measured
+// cCR series and a measured replication series over one MTBF axis — and
+// checks the campaign pairs them: a measured crossover inside the sampled
+// axis, reported next to the analytic ckpt.CrossoverMTBF, and the whole
+// aggregate byte-identical across worker counts.
+func TestCampaignThreeWayCrossover(t *testing.T) {
+	mtbfs := []sim.Time{4 * sim.Millisecond, 20 * sim.Second}
+	var scs []campaign.Scenario
+	for _, m := range mtbfs {
+		scs = append(scs, ccrPoint(fmt.Sprintf("ccr/mtbf%v", m), m))
+		scs = append(scs, campaign.Scenario{
+			Point: smallPoint(fmt.Sprintf("intra/mtbf%v", m), scenario.Intra), MTBF: m})
+	}
+	var want string
+	for _, workers := range []int{1, 4} {
+		res, err := campaign.Run(campaign.Config{Trials: 10, Seed: 7, Workers: workers}, scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			want = string(b)
+		} else if string(b) != want {
+			t.Fatal("worker count changed the three-way aggregate")
+		}
+
+		if len(res.Crossovers) != 1 {
+			t.Fatalf("crossovers = %+v, want exactly one ccr-vs-intra pairing", res.Crossovers)
+		}
+		x := res.Crossovers[0]
+		if x.ReplMode != "intra" || x.CCRPhysProcs != 2 {
+			t.Fatalf("crossover identity: %+v", x)
+		}
+		lo, hi := mtbfs[0].Seconds(), mtbfs[1].Seconds()
+		if x.MeasuredNodeMTBFSeconds <= lo || x.MeasuredNodeMTBFSeconds >= hi {
+			t.Fatalf("measured crossover %v outside the bracketing axis [%v, %v]",
+				x.MeasuredNodeMTBFSeconds, lo, hi)
+		}
+		if x.AnalyticNodeMTBFSeconds <= 0 {
+			t.Fatalf("analytic crossover missing: %+v", x)
+		}
+		// The grid really does cross: cCR above replication at high MTBF,
+		// below it at the collapse point.
+		effOf := func(name string) float64 {
+			for _, s := range res.Scenarios {
+				if s.Name == name {
+					return s.Efficiency.Mean
+				}
+			}
+			t.Fatalf("scenario %q missing", name)
+			return 0
+		}
+		if effOf("ccr/mtbf4.000ms") >= effOf("intra/mtbf4.000ms") {
+			t.Fatal("cCR should lose at collapsed MTBF")
+		}
+		if effOf("ccr/mtbf20.0000s") <= effOf("intra/mtbf20.0000s") {
+			t.Fatal("cCR should win at high MTBF")
+		}
+	}
+}
+
+// TestStatSingleTrialCI: one trial gives no dispersion estimate — CI95 is
+// NaN, JSON null, and "-" in the rendered table — never a zero that reads
+// as a perfectly tight interval.
+func TestStatSingleTrialCI(t *testing.T) {
+	res, err := campaign.Run(campaign.Config{Trials: 1, Seed: 4},
+		[]campaign.Scenario{{Point: smallPoint("one", scenario.Intra), MTBF: sim.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Scenarios[0]
+	if !math.IsNaN(s.Makespan.CI95) || !math.IsNaN(s.Efficiency.CI95) {
+		t.Fatalf("1-trial CI95 must be NaN, got %v / %v", s.Makespan.CI95, s.Efficiency.CI95)
+	}
+	b, err := json.Marshal(s.Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"ci95":null`) {
+		t.Fatalf("1-trial ci95 must encode as null: %s", b)
+	}
+	var back campaign.Stat
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.CI95) || back.Mean != s.Makespan.Mean {
+		t.Fatalf("round trip mangled the stat: %+v", back)
+	}
+	if tab := res.Table().String(); !strings.Contains(tab, "-") {
+		t.Fatal("table must render the undefined CI as '-'")
+	}
+	// Two trials restore a defined (possibly zero) interval.
+	res2, err := campaign.Run(campaign.Config{Trials: 2, Seed: 4},
+		[]campaign.Scenario{{Point: smallPoint("two", scenario.Intra), MTBF: sim.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res2.Scenarios[0].Makespan.CI95) {
+		t.Fatal("2-trial CI95 must be defined")
+	}
+}
+
+// TestFromScenarioCCR: ccr scenario-file points adapt like any campaign
+// point — the MTBF lifts out of the fault model, the ckpt options stay on
+// the point, and the native reference is the point itself in native mode.
+func TestFromScenarioCCR(t *testing.T) {
+	pt := smallPoint("ccr/file-point", scenario.CCR)
+	pt.Ckpt = &scenario.CkptOptions{TauSeconds: 0.05, DeltaSeconds: 0.004}
+	pt.Fault = &scenario.FaultSpec{MTBFSeconds: 0.25}
+	sc, err := campaign.FromScenario(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.MTBF != 250*sim.Millisecond || sc.Point.Fault != nil {
+		t.Fatalf("fault model not lifted: %+v", sc)
+	}
+	if sc.Point.Ckpt == nil || sc.Point.Ckpt.TauSeconds != 0.05 {
+		t.Fatalf("ckpt options lost: %+v", sc.Point)
+	}
+	if sc.Native != nil {
+		t.Fatal("ccr points are their own native reference shape (nil Native)")
 	}
 }

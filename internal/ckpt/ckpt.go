@@ -35,14 +35,30 @@ func Efficiency(tau, delta, r, m float64) float64 { return 1 / Wall(tau, delta, 
 // OptimalInterval returns the checkpoint interval minimizing Wall, found
 // numerically by golden-section search (Daly's closed form is an
 // approximation; the search is exact to tolerance).
+//
+// The search bracket must contain the optimum at every operating point:
+// tau* ≈ sqrt(2*delta*m) (Young's approximation) when m >> delta, and
+// tau* → m as the MTBF collapses below the checkpoint cost (each
+// checkpoint barely completes between failures). The old bracket
+// [delta/100, 50*m] excluded tau* ≈ m whenever delta > 100*m, so the
+// search converged onto its own lower edge; the bracket now spans
+// [min(delta, m)/100, 50*(m + sqrt(2*delta*m))], which covers both
+// asymptotes with two orders of magnitude of slack on each side.
 func OptimalInterval(delta, r, m float64) float64 {
-	lo, hi := delta/100+1e-9, 50*m
+	lo := math.Min(delta, m)/100 + 1e-12
+	hi := 50 * (m + math.Sqrt(2*delta*m))
+	if hi <= lo {
+		hi = 2 * lo // degenerate inputs (delta == 0 and m ~ 0)
+	}
 	const phi = 0.6180339887498949
 	a, b := lo, hi
 	c := b - phi*(b-a)
 	d := a + phi*(b-a)
 	for i := 0; i < 200 && (b-a) > 1e-9*(1+b); i++ {
-		if Wall(c, delta, r, m) < Wall(d, delta, r, m) {
+		// <= and not <: when exp((tau+delta)/m) overflows, both probes are
+		// +Inf and the plateau always lies on the large-tau side — a strict
+		// comparison would discard the finite region instead.
+		if Wall(c, delta, r, m) <= Wall(d, delta, r, m) {
 			b = d
 		} else {
 			a = c

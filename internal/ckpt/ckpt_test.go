@@ -40,6 +40,37 @@ func TestOptimalIntervalNearYoung(t *testing.T) {
 	}
 }
 
+// TestOptimalIntervalExtremeMTBF is the regression test for the bracket
+// bug: with delta >> m (checkpoints cost hundreds of MTBFs) the optimum
+// sits near tau ~ m, far below the old bracket floor of delta/100, and the
+// search used to return its own lower edge. The fix is checked against a
+// brute-force scan over eight decades of tau.
+func TestOptimalIntervalExtremeMTBF(t *testing.T) {
+	delta, r, m := 300.0, 0.0, 1.0 // exp((tau+delta)/m) is finite but enormous
+	opt := OptimalInterval(delta, r, m)
+	// Analytically, minimizing exp(tau/m)/tau gives tau* = m exactly.
+	if math.Abs(opt-m)/m > 0.02 {
+		t.Fatalf("opt = %v, want ~%v (tau* -> m for m << delta)", opt, m)
+	}
+	best, bestTau := math.Inf(1), 0.0
+	for i := 0; i <= 8000; i++ {
+		tau := math.Pow(10, -4+float64(i)/1000) // 1e-4 .. 1e4, 1000 points/decade
+		if w := Wall(tau, delta, r, m); w < best {
+			best, bestTau = w, tau
+		}
+	}
+	if w := Wall(opt, delta, r, m); w > best*(1+1e-3) {
+		t.Fatalf("Wall(opt=%v) = %v beats nothing: brute-force tau %v gives %v", opt, w, bestTau, best)
+	}
+	// The healthy regime must keep working too.
+	delta, m = 1.0, 10000.0
+	opt = OptimalInterval(delta, r, m)
+	young := math.Sqrt(2 * delta * m)
+	if math.Abs(opt-young)/young > 0.15 {
+		t.Fatalf("m >> delta regime drifted: opt %v vs young %v", opt, young)
+	}
+}
+
 func TestEfficiencyDropsWithMTBF(t *testing.T) {
 	// The §II story: as MTBF shrinks, cCR efficiency collapses below 50%.
 	delta, r := 600.0, 600.0 // 10-minute checkpoint/restart (PFS-class)

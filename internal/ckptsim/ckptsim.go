@@ -1,0 +1,116 @@
+// Package ckptsim replays a measured fault-free makespan under simulated
+// coordinated checkpoint/restart (cCR): the execution model of §II that
+// the paper's replication argument is measured against.
+//
+// A replay takes the application's useful-work duration W (the wall time
+// of its unreplicated, failure-free simulation), a checkpoint interval
+// tau, a checkpoint cost delta and a restart cost R, plus an absolute
+// failure trace, and walks the timeline the §II machine would follow:
+// work proceeds in tau-long segments, each followed by a delta-long
+// checkpoint that secures the segment (no checkpoint after the final
+// segment — the run just completes); a failure at time f destroys all
+// work since the last completed checkpoint, costs R of restart, and
+// resumes from the secured state; failures during a checkpoint or a
+// restart roll back the same way.
+//
+// This is exactly the renewal process Daly's model (internal/ckpt)
+// integrates analytically, so replay means over an exponential failure
+// trace converge on ckpt.Efficiency(tau, delta, R, M_sys) — the property
+// the campaign layer's measured-vs-analytic comparison rests on, verified
+// in this package's tests.
+//
+// Everything is a pure float64 computation over virtual seconds: replays
+// are deterministic, microsecond-cheap, and run thousands of Monte Carlo
+// trials per sweep point without touching the discrete-event simulator.
+package ckptsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the cCR machine parameters, in seconds.
+type Params struct {
+	Tau     float64 // checkpoint interval (useful work between checkpoints)
+	Delta   float64 // cost of writing one checkpoint
+	Restart float64 // cost of restarting after a failure
+}
+
+// Validate rejects parameter combinations the replay cannot execute.
+func (p Params) Validate() error {
+	if p.Tau <= 0 {
+		return fmt.Errorf("ckptsim: checkpoint interval %g must be positive", p.Tau)
+	}
+	if p.Delta < 0 || p.Restart < 0 {
+		return fmt.Errorf("ckptsim: negative checkpoint (%g) or restart (%g) cost", p.Delta, p.Restart)
+	}
+	return nil
+}
+
+// Trial is one replay outcome.
+type Trial struct {
+	// Makespan is the wall time to complete the work, checkpoints,
+	// rollbacks and restarts included, in seconds.
+	Makespan float64
+	// Failures counts the failures that hit the run (failures in the trace
+	// after completion are ignored).
+	Failures int
+}
+
+// FaultFreeMakespan is the replay's zero-failure wall time: the work plus
+// one checkpoint after every full interval except the last segment.
+func (p Params) FaultFreeMakespan(work float64) float64 {
+	return p.finish(0, work)
+}
+
+// finish returns the completion time of `remaining` seconds of work
+// started at absolute time t, assuming no further failures.
+func (p Params) finish(t, remaining float64) float64 {
+	if remaining <= 0 {
+		return t
+	}
+	ckpts := math.Ceil(remaining/p.Tau) - 1
+	return t + remaining + ckpts*p.Delta
+}
+
+// secured returns how much of `remaining` work is checkpointed by
+// absolute time f, for an attempt started at time t: one full interval
+// per completed (tau + delta) cycle, never counting the final segment
+// (which has no checkpoint to secure it) and never a half-written
+// checkpoint.
+func (p Params) secured(t, remaining, f float64) float64 {
+	cycles := math.Floor((f - t) / (p.Tau + p.Delta))
+	total := math.Ceil(remaining/p.Tau) - 1 // checkpoints this attempt would write
+	return p.Tau * math.Min(cycles, total)
+}
+
+// Replay executes `work` seconds of application progress under cCR
+// against an absolute failure trace (seconds, ascending — the order
+// fault.ExponentialDrawUnclamped emits). Failures at or after the
+// completion time are ignored; a failure during a restart restarts the
+// restart. The trace must cover the returned makespan for the result to
+// be exact — the campaign layer grows the draw window until it does.
+func Replay(work float64, p Params, failures []float64) (Trial, error) {
+	if err := p.Validate(); err != nil {
+		return Trial{}, err
+	}
+	if work < 0 {
+		return Trial{}, fmt.Errorf("ckptsim: negative work %g", work)
+	}
+	var tr Trial
+	t, done := 0.0, 0.0
+	for _, f := range failures {
+		if f >= p.finish(t, work-done) {
+			break // completed before this failure
+		}
+		if f > t {
+			done += p.secured(t, work-done, f)
+		}
+		// f <= t: the failure hit during the restart we are already paying;
+		// no progress was made, the restart just starts over.
+		tr.Failures++
+		t = f + p.Restart
+	}
+	tr.Makespan = p.finish(t, work-done)
+	return tr, nil
+}

@@ -28,6 +28,7 @@ const (
 	Native  = scenario.Native  // unreplicated Open MPI baseline
 	Classic = scenario.Classic // SDR-MPI: classic state-machine replication
 	Intra   = scenario.Intra   // replication with intra-parallelization
+	CCR     = scenario.CCR     // coordinated checkpoint/restart (native run + ckptsim replay)
 )
 
 // ClusterConfig describes one experiment's platform and mode.
@@ -107,7 +108,10 @@ func (c *Cluster) PhysProcs() int { return c.W.Size() }
 // mode.
 func (c *Cluster) Launch(program func(rt core.Runner)) {
 	switch c.Cfg.Mode {
-	case Native:
+	case Native, CCR:
+		// ccr runs the application unreplicated: checkpoints, rollbacks and
+		// restarts are layered over the measured makespan by the campaign's
+		// ckptsim replay, never simulated inside the cluster.
 		c.W.LaunchAll("native", func(r *mpi.Rank) {
 			program(core.NewNative(r))
 		})

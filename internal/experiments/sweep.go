@@ -112,6 +112,13 @@ func (s Spec) key() string {
 	} else if degree == 0 {
 		degree = scenario.DefaultDegree
 	}
+	// A ccr point's cluster simulation IS the native run (checkpointing is
+	// replayed outside the simulator), so it keys as native and a campaign's
+	// ccr reference memo-hits its own native baseline.
+	mode := s.Mode
+	if mode == scenario.CCR {
+		mode = scenario.Native
+	}
 	k, err := json.Marshal(struct {
 		Mode      Mode           `json:"mode"`
 		Logical   int            `json:"logical"`
@@ -122,7 +129,7 @@ func (s Spec) key() string {
 		Machine   perf.Machine   `json:"machine"`
 		Fault     string         `json:"fault"`
 		App       string         `json:"app"`
-	}{s.Mode, s.Logical, degree, o.Mode, o.CostScale, s.Net, s.Machine,
+	}{mode, s.Logical, degree, o.Mode, o.CostScale, s.Net, s.Machine,
 		s.Fault.Fingerprint(), s.App.key})
 	if err != nil {
 		return ""
@@ -295,6 +302,10 @@ func SweepN(workers int, specs []Spec) ([]Result, error) {
 	for i, s := range specs {
 		r := runs[uniqOf[i]]
 		r.Name = s.Name
+		// The memo can serve one spec from another mode's identical
+		// simulation (ccr <-> native); the reported mode is always the
+		// spec's own.
+		r.Mode = s.Mode.String()
 		if seen[uniqOf[i]] {
 			r.Memoized = true
 			r.ElapsedMS = 0

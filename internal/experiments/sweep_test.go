@@ -382,3 +382,49 @@ func TestFiguresByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
 		}
 	}
 }
+
+// TestCCRSpecMemoSharesNativeRun: a ccr point's cluster simulation is the
+// native run, so the two memo-share, while each result reports its own
+// mode. SpecFor accepts ccr scenarios (the campaign's reference path).
+func TestCCRSpecMemoSharesNativeRun(t *testing.T) {
+	cfg := smallHPCCG(3)
+	specs := []Spec{
+		{Name: "native", Mode: Native, Logical: 4, App: HPCCG(cfg)},
+		{Name: "ccr", Mode: CCR, Logical: 4, App: HPCCG(cfg)},
+	}
+	res, err := SweepN(1, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[1].Memoized {
+		t.Fatal("ccr spec must be served from the native run's memo entry")
+	}
+	if res[0].Mode != "Open MPI" || res[1].Mode != "cCR" {
+		t.Fatalf("modes %q / %q: memo sharing must not leak the other spec's mode", res[0].Mode, res[1].Mode)
+	}
+	if res[0].WallSeconds != res[1].WallSeconds || res[1].PhysProcs != 4 || res[1].Degree != 1 {
+		t.Fatalf("ccr result diverged from native: %+v vs %+v", res[0], res[1])
+	}
+
+	sc := scenario.Scenario{
+		Name: "ccr-point", App: "hpccg", Config: scenario.MustRaw(cfg),
+		Mode: scenario.CCR, Logical: 4,
+		Ckpt: &scenario.CkptOptions{DeltaSeconds: 0.01},
+	}
+	spec, err := SpecFor(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mode != CCR {
+		t.Fatalf("SpecFor dropped the ccr mode: %+v", spec)
+	}
+	// The checkpoint process never runs inside the simulator, so a single
+	// ccr sweep point is just its native run.
+	one, err := SweepN(1, []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one[0].Crashes != 0 || one[0].WallSeconds != res[0].WallSeconds {
+		t.Fatalf("plain ccr sweep point: %+v", one[0])
+	}
+}

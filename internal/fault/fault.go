@@ -7,6 +7,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -91,15 +92,24 @@ type Crash struct {
 	Time          sim.Time
 }
 
-// Install arms every crash of the schedule on the engine.
+// Install arms every crash of the schedule on the engine, in canonical
+// (time, logical, lane) order. The engine breaks equal-time ties by
+// insertion order, so arming in the same canonical order Fingerprint
+// keys by is what makes two set-equal schedules — including ones with
+// same-time crashes — genuinely interchangeable under the sweep memo.
 func (s *Schedule) Install(e *sim.Engine, sys *replication.System) {
-	for _, c := range s.Crashes {
+	crashes := append([]Crash(nil), s.Crashes...)
+	sortCrashes(crashes)
+	for _, c := range crashes {
 		At(e, sys, c.Logical, c.Lane, c.Time)
 	}
 }
 
 // Fingerprint returns a compact content key of the schedule: two schedules
-// with equal fingerprints arm identical crashes. The empty schedule
+// with equal fingerprints arm identical crashes. Crashes are canonicalized
+// by (time, logical, lane) order first — installing a schedule arms the
+// same events whatever the slice order, so two shuffles of one schedule
+// must key identically or they defeat the sweep memo. The empty schedule
 // fingerprints to "", so a fault-free trial keys identically to a spec with
 // no schedule at all — which is what lets a sweep memo serve it from the
 // fault-free baseline run.
@@ -107,11 +117,26 @@ func (s *Schedule) Fingerprint() string {
 	if s == nil || len(s.Crashes) == 0 {
 		return ""
 	}
+	crashes := append([]Crash(nil), s.Crashes...)
+	sortCrashes(crashes)
 	var b strings.Builder
-	for _, c := range s.Crashes {
+	for _, c := range crashes {
 		fmt.Fprintf(&b, "%d:%d@%d;", c.Logical, c.Lane, int64(c.Time))
 	}
 	return b.String()
+}
+
+// sortCrashes orders crashes canonically by (time, logical, lane).
+func sortCrashes(cs []Crash) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Time != cs[j].Time {
+			return cs[i].Time < cs[j].Time
+		}
+		if cs[i].Logical != cs[j].Logical {
+			return cs[i].Logical < cs[j].Logical
+		}
+		return cs[i].Lane < cs[j].Lane
+	})
 }
 
 // Exponential draws a crash schedule from an exponential per-replica MTBF
@@ -138,6 +163,13 @@ type Draw struct {
 // the count of suppressed last-replica kills. Deterministic in seed, and
 // consuming the generator identically to Exponential for every (logical,
 // degree, mtbf, horizon).
+//
+// The survivability clamp is deliberately lane-ordered: lanes draw in
+// index order, so when every lane of a logical rank would crash, the
+// lower-indexed lanes are the ones killed and the highest-indexed lane is
+// the spared survivor. The choice is pinned by a seeded regression test
+// (TestExponentialDrawLaneBias): which lane survives changes every drawn
+// schedule, so it must not drift accidentally.
 func ExponentialDraw(logical, degree int, mtbf, horizon sim.Time, seed int64) Draw {
 	rng := rand.New(rand.NewSource(seed))
 	d := Draw{Schedule: &Schedule{}}
@@ -157,6 +189,44 @@ func ExponentialDraw(logical, degree int, mtbf, horizon sim.Time, seed int64) Dr
 		}
 	}
 	return d
+}
+
+// ExponentialDrawUnclamped draws the complete failure trace of every
+// replica slot over the horizon: a Poisson (renewal) process per slot with
+// repeated failures and no last-replica suppression. It models fault
+// tolerance that repairs or restarts failed nodes — the coordinated
+// checkpoint/restart path — where losing every replica of a rank is
+// survivable (it just forces another rollback) and a restarted node can
+// fail again.
+//
+// Each slot's sub-stream derives independently from seed, so growing the
+// horizon extends a trace without disturbing the failures already drawn
+// inside the smaller window — campaigns exploit this to enlarge the draw
+// window until it covers a failure-stretched makespan. Crashes are
+// returned sorted by (time, logical, lane); Suppressed is always zero.
+func ExponentialDrawUnclamped(logical, degree int, mtbf, horizon sim.Time, seed int64) Draw {
+	d := Draw{Schedule: &Schedule{}}
+	for r := 0; r < logical; r++ {
+		for l := 0; l < degree; l++ {
+			rng := rand.New(rand.NewSource(TrialSeed(seed, r, l)))
+			for t := expStep(rng, mtbf); t < horizon; t += expStep(rng, mtbf) {
+				d.Schedule.Crashes = append(d.Schedule.Crashes, Crash{Logical: r, Lane: l, Time: t})
+			}
+		}
+	}
+	sortCrashes(d.Schedule.Crashes)
+	return d
+}
+
+// expStep draws one exponential inter-arrival time, clamped to at least one
+// virtual nanosecond so a pathologically small variate cannot stall the
+// renewal loop.
+func expStep(rng *rand.Rand, mtbf sim.Time) sim.Time {
+	dt := sim.Time(rng.ExpFloat64() * float64(mtbf))
+	if dt < 1 {
+		return 1
+	}
+	return dt
 }
 
 // TrialSeed derives the RNG seed of one campaign trial from the campaign

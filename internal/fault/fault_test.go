@@ -94,6 +94,117 @@ func TestScheduleFingerprint(t *testing.T) {
 	}
 }
 
+// TestScheduleFingerprintOrderInsensitive is the regression test for the
+// memo-defeating order sensitivity: the same crashes in a different slice
+// order arm identical events, so they must produce the same key.
+func TestScheduleFingerprintOrderInsensitive(t *testing.T) {
+	s := fault.Exponential(16, 2, 20*sim.Millisecond, sim.Second, 3)
+	if len(s.Crashes) < 3 {
+		t.Fatalf("draw too small to shuffle (%d crashes)", len(s.Crashes))
+	}
+	shuffled := &fault.Schedule{Crashes: append([]fault.Crash(nil), s.Crashes...)}
+	for i := range shuffled.Crashes { // deterministic reversal, no rng needed
+		j := len(shuffled.Crashes) - 1 - i
+		if i >= j {
+			break
+		}
+		shuffled.Crashes[i], shuffled.Crashes[j] = shuffled.Crashes[j], shuffled.Crashes[i]
+	}
+	if s.Fingerprint() != shuffled.Fingerprint() {
+		t.Fatal("shuffled schedule fingerprints differently: the sweep memo treats equal schedules as distinct")
+	}
+	// Sorting is on a copy: the caller's slice order is untouched.
+	if shuffled.Crashes[0] == s.Crashes[0] && len(s.Crashes) > 1 {
+		t.Fatal("test is vacuous: shuffle did not change the order")
+	}
+}
+
+// TestExponentialDrawLaneBias pins the survivability clamp's lane choice:
+// lanes draw in index order, so when every lane of a rank would crash the
+// recorded kills are the lower-indexed lanes and the highest-indexed lane
+// is the spared survivor. This is a deliberate, documented choice — see
+// ExponentialDraw — not an accident; changing it silently would reshuffle
+// every drawn schedule.
+func TestExponentialDrawLaneBias(t *testing.T) {
+	// MTBF three orders of magnitude under the horizon: every lane draws a
+	// crash inside the window with overwhelming probability.
+	for seed := int64(1); seed <= 10; seed++ {
+		d := fault.ExponentialDraw(16, 2, sim.Millisecond, sim.Second, seed)
+		for _, c := range d.Schedule.Crashes {
+			if c.Lane != 0 {
+				t.Fatalf("seed %d: clamp spared lane 0 of rank %d (killed lane %d); the survivor must be the highest lane",
+					seed, c.Logical, c.Lane)
+			}
+		}
+		if len(d.Schedule.Crashes) != 16 || d.Suppressed != 16 {
+			t.Fatalf("seed %d: %d crashes, %d suppressed; want 16/16 at this rate",
+				seed, len(d.Schedule.Crashes), d.Suppressed)
+		}
+	}
+}
+
+// TestExponentialDrawUnclamped covers the cCR failure model: repeated
+// failures per slot, no survivability clamp, canonical crash order, and
+// prefix stability under horizon growth.
+func TestExponentialDrawUnclamped(t *testing.T) {
+	d := fault.ExponentialDrawUnclamped(4, 1, 10*sim.Millisecond, sim.Second, 7)
+	if d.Suppressed != 0 {
+		t.Fatalf("unclamped draw suppressed %d kills", d.Suppressed)
+	}
+	perSlot := map[int]int{}
+	for i, c := range d.Schedule.Crashes {
+		if c.Time < 0 || c.Time >= sim.Second {
+			t.Fatalf("crash outside horizon: %+v", c)
+		}
+		perSlot[c.Logical]++
+		if i > 0 && d.Schedule.Crashes[i-1].Time > c.Time {
+			t.Fatal("crashes not sorted by time")
+		}
+	}
+	repeated := 0
+	for _, n := range perSlot {
+		if n > 1 {
+			repeated++
+		}
+	}
+	// ~100 expected failures per slot: every slot fails many times.
+	if repeated != 4 {
+		t.Fatalf("only %d of 4 slots failed repeatedly at MTBF << horizon", repeated)
+	}
+
+	// Deterministic in seed; different seeds draw different traces.
+	d2 := fault.ExponentialDrawUnclamped(4, 1, 10*sim.Millisecond, sim.Second, 7)
+	if d.Schedule.Fingerprint() != d2.Schedule.Fingerprint() {
+		t.Fatal("unclamped draw not deterministic")
+	}
+	if d.Schedule.Fingerprint() == fault.ExponentialDrawUnclamped(4, 1, 10*sim.Millisecond, sim.Second, 8).Schedule.Fingerprint() {
+		t.Fatal("different seeds collide")
+	}
+
+	// Prefix property: a larger horizon must reproduce every crash of the
+	// smaller window exactly, then extend it.
+	small := fault.ExponentialDrawUnclamped(4, 1, 10*sim.Millisecond, sim.Second, 7)
+	big := fault.ExponentialDrawUnclamped(4, 1, 10*sim.Millisecond, 2*sim.Second, 7)
+	var bigPrefix []fault.Crash
+	for _, c := range big.Schedule.Crashes {
+		if c.Time < sim.Second {
+			bigPrefix = append(bigPrefix, c)
+		}
+	}
+	if len(bigPrefix) != len(small.Schedule.Crashes) {
+		t.Fatalf("horizon growth changed the small window: %d vs %d crashes",
+			len(bigPrefix), len(small.Schedule.Crashes))
+	}
+	for i, c := range small.Schedule.Crashes {
+		if bigPrefix[i] != c {
+			t.Fatalf("crash %d differs after horizon growth: %+v vs %+v", i, c, bigPrefix[i])
+		}
+	}
+	if len(big.Schedule.Crashes) <= len(small.Schedule.Crashes) {
+		t.Fatal("doubled horizon drew no additional failures")
+	}
+}
+
 // TestTrialSeedDerivation: the (base, scenario, trial) -> seed map is
 // stable and collision-free over a realistic campaign envelope.
 func TestTrialSeedDerivation(t *testing.T) {
@@ -312,4 +423,42 @@ func newCluster(t *testing.T, cfg experiments.ClusterConfig) *experiments.Cluste
 		t.Fatal(err)
 	}
 	return c
+}
+
+// TestInstallCanonicalOrder: the engine breaks equal-time event ties by
+// insertion order, so Install must arm crashes in the same canonical
+// order Fingerprint keys by — otherwise two set-equal schedules (which
+// now share a sweep-memo key) could simulate differently.
+func TestInstallCanonicalOrder(t *testing.T) {
+	cfg := hpccg.DefaultConfig()
+	cfg.Nx, cfg.Ny, cfg.Nz = 8, 8, 8
+	cfg.Iters = 4
+
+	run := func(crashes []fault.Crash) sim.Time {
+		c := newCluster(t, experiments.ClusterConfig{
+			Logical: 2, Mode: experiments.Intra, SendLog: true,
+		})
+		sched := &fault.Schedule{Crashes: crashes}
+		sched.Install(c.E, c.Sys)
+		c.Launch(func(rt core.Runner) {
+			if _, err := hpccg.Run(rt, cfg); err != nil {
+				t.Errorf("rank %d: %v", rt.LogicalRank(), err)
+			}
+		})
+		wall, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wall
+	}
+
+	at := 5 * sim.Millisecond // mid-run, same instant for both crashes
+	fwd := []fault.Crash{{Logical: 0, Lane: 0, Time: at}, {Logical: 1, Lane: 1, Time: at}}
+	rev := []fault.Crash{{Logical: 1, Lane: 1, Time: at}, {Logical: 0, Lane: 0, Time: at}}
+	if (&fault.Schedule{Crashes: fwd}).Fingerprint() != (&fault.Schedule{Crashes: rev}).Fingerprint() {
+		t.Fatal("set-equal schedules must share a fingerprint")
+	}
+	if wf, wr := run(fwd), run(rev); wf != wr {
+		t.Fatalf("slice order changed the simulation: wall %v vs %v", wf, wr)
+	}
 }

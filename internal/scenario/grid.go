@@ -34,6 +34,9 @@ type Grid struct {
 	Tasks int `json:"tasks,omitempty"`
 	// Intra applies the same intra-engine options to every point.
 	Intra *IntraOptions `json:"intra,omitempty"`
+	// Ckpt applies the same checkpoint/restart parameters to every
+	// ccr-mode point (an error when the grid has no ccr mode).
+	Ckpt *CkptOptions `json:"ckpt,omitempty"`
 }
 
 // Expand builds the cross product, validating every point. Scenario names
@@ -72,6 +75,15 @@ func (g Grid) Expand() ([]Scenario, error) {
 			return nil, fmt.Errorf("scenario: grid degree %d", d)
 		}
 	}
+	if g.Ckpt.norm() != nil {
+		hasCCR := false
+		for _, m := range modes {
+			hasCCR = hasCCR || m == CCR
+		}
+		if !hasCCR {
+			return nil, fmt.Errorf("scenario: grid sets ckpt options but has no ccr mode")
+		}
+	}
 
 	var out []Scenario
 	for _, appName := range g.Apps {
@@ -87,8 +99,8 @@ func (g Grid) Expand() ([]Scenario, error) {
 				for _, p := range g.Procs {
 					for _, mode := range modes {
 						for _, d := range degrees {
-							if mode == Native && d != degrees[0] {
-								continue // native has no replicas; one point per p
+							if !mode.Replicated() && d != degrees[0] {
+								continue // no replicas (native, ccr); one point per p
 							}
 							sc, err := g.point(ent, net, machine, p, mode, d,
 								len(nets) > 1, len(machines) > 1)
@@ -142,11 +154,17 @@ func (g Grid) point(ent AppEntry, net, machine string, p int, mode Mode, d int,
 	if err != nil {
 		return Scenario{}, fmt.Errorf("scenario: marshal %s config: %w", ent.Name, err)
 	}
-	return Scenario{
+	sc := Scenario{
 		Name: name, App: ent.Name, Config: raw,
 		Mode: mode, Logical: logical, Degree: d,
 		Net: net, Machine: machine, Intra: g.Intra,
-	}, nil
+	}
+	if mode == CCR {
+		sc.Degree = 0
+		sc.Intra = nil // the intra engine never runs in ccr mode
+		sc.Ckpt = g.Ckpt.norm()
+	}
+	return sc, nil
 }
 
 // PlatformLabel names a platform axis value for display: the registered

@@ -66,9 +66,35 @@ type Scenario struct {
 	// Intra configures the intra-parallelization engine (replicated modes).
 	Intra *IntraOptions `json:"intra,omitempty"`
 
+	// Ckpt parameterizes the simulated coordinated checkpoint/restart of
+	// ccr-mode scenarios. Other modes must leave it unset.
+	Ckpt *CkptOptions `json:"ckpt,omitempty"`
+
 	// Fault is the fault model: either an explicit crash schedule (sweep
 	// points) or an exponential per-replica MTBF (campaign points).
 	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// CkptOptions are the coordinated checkpoint/restart parameters of a
+// ccr-mode scenario, in seconds. Zero values pick campaign defaults:
+// delta defaults to 5% of the fault-free wall time, restart to delta, and
+// tau to Daly's optimal interval at the scenario's system MTBF.
+type CkptOptions struct {
+	// TauSeconds is the checkpoint interval (0 = optimal interval).
+	TauSeconds float64 `json:"tau_seconds,omitempty"`
+	// DeltaSeconds is the cost of writing one checkpoint.
+	DeltaSeconds float64 `json:"delta_seconds,omitempty"`
+	// RestartSeconds is the cost of restarting after a failure.
+	RestartSeconds float64 `json:"restart_seconds,omitempty"`
+}
+
+// norm folds the all-zero options into nil, so an explicit empty "ckpt"
+// object fingerprints identically to an omitted one.
+func (c *CkptOptions) norm() *CkptOptions {
+	if c == nil || *c == (CkptOptions{}) {
+		return nil
+	}
+	return c
 }
 
 // IntraOptions is the serializable subset of core.Options.
@@ -278,13 +304,33 @@ func (s Scenario) Validate() error {
 	if s.Mode.Replicated() && s.Degree == 1 {
 		return fmt.Errorf("scenario %q: %s needs degree >= 2 (or 0 for the default), got 1", s.Name, s.Mode.Name())
 	}
+	if s.Mode == CCR && s.Degree > 1 {
+		return fmt.Errorf("scenario %q: ccr runs unreplicated, got degree %d", s.Name, s.Degree)
+	}
 	if _, _, err := s.Platform(); err != nil {
 		return err
 	}
 	if _, err := s.Intra.CoreOptions(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	if err := s.validateCkpt(); err != nil {
+		return err
+	}
 	return s.validateFault()
+}
+
+func (s Scenario) validateCkpt() error {
+	c := s.Ckpt
+	if c == nil {
+		return nil
+	}
+	if s.Mode != CCR && c.norm() != nil {
+		return fmt.Errorf("scenario %q: ckpt options require mode ccr, not %s", s.Name, s.Mode.Name())
+	}
+	if c.TauSeconds < 0 || c.DeltaSeconds < 0 || c.RestartSeconds < 0 {
+		return fmt.Errorf("scenario %q: negative ckpt parameter", s.Name)
+	}
+	return nil
 }
 
 func (s Scenario) validateFault() error {
@@ -295,8 +341,13 @@ func (s Scenario) validateFault() error {
 	if f.MTBFSeconds < 0 || f.HorizonSeconds < 0 {
 		return fmt.Errorf("scenario %q: negative MTBF or horizon", s.Name)
 	}
-	if (f.MTBFSeconds > 0 || len(f.Crashes) > 0) && !s.Mode.Replicated() {
-		return fmt.Errorf("scenario %q: a fault model requires a replicated mode, not %s", s.Name, s.Mode.Name())
+	if f.MTBFSeconds > 0 && !s.Mode.Replicated() && s.Mode != CCR {
+		return fmt.Errorf("scenario %q: an MTBF fault model requires a replicated or ccr mode, not %s", s.Name, s.Mode.Name())
+	}
+	if len(f.Crashes) > 0 && !s.Mode.Replicated() {
+		// ccr included: explicit crash schedules install on the replication
+		// system; the ccr failure process lives in the campaign's replays.
+		return fmt.Errorf("scenario %q: a crash schedule requires a replicated mode, not %s", s.Name, s.Mode.Name())
 	}
 	if f.MTBFSeconds > 0 && len(f.Crashes) > 0 {
 		return fmt.Errorf("scenario %q: fault model sets both an MTBF and explicit crashes", s.Name)
@@ -351,9 +402,10 @@ func (s Scenario) Fingerprint() (string, error) {
 		Machine   perf.Machine   `json:"machine"`
 		Inout     core.InoutMode `json:"inout"`
 		CostScale float64        `json:"cost_scale"`
+		Ckpt      *CkptOptions   `json:"ckpt"`
 		Fault     string         `json:"fault"`
 	}{s.App, cfg, s.Mode, s.Logical, s.EffectiveDegree(), net, machine,
-		opts.Mode, opts.CostScale, s.Fault.fingerprint()}
+		opts.Mode, opts.CostScale, s.Ckpt.norm(), s.Fault.fingerprint()}
 	b, err := json.Marshal(key)
 	if err != nil {
 		return "", fmt.Errorf("scenario %q: fingerprint: %w", s.Name, err)

@@ -384,3 +384,142 @@ func TestFaultSpecSchedule(t *testing.T) {
 		t.Fatalf("schedule conversion wrong: %+v", s)
 	}
 }
+
+// TestCCRMode covers the checkpoint/restart scenario axis: the canonical
+// name round-trips, ckpt options validate and fingerprint, and the fault
+// model accepts an MTBF (the campaign axis) but no explicit crashes.
+func TestCCRMode(t *testing.T) {
+	if !scenario.CCR.Known() || scenario.CCR.Replicated() {
+		t.Fatal("ccr must be known and unreplicated")
+	}
+	m, err := scenario.ParseMode("ccr")
+	if err != nil || m != scenario.CCR {
+		t.Fatalf("ParseMode(ccr) = %v, %v", m, err)
+	}
+	if scenario.CCR.String() != "cCR" || scenario.CCR.Name() != "ccr" {
+		t.Fatalf("ccr names: %q / %q", scenario.CCR.String(), scenario.CCR.Name())
+	}
+
+	sc := scenario.Scenario{
+		App: "gtc", Mode: scenario.CCR, Logical: 4,
+		Ckpt:  &scenario.CkptOptions{TauSeconds: 0.1, DeltaSeconds: 0.01},
+		Fault: &scenario.FaultSpec{MTBFSeconds: 0.5},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid ccr scenario rejected: %v", err)
+	}
+	if sc.EffectiveDegree() != 1 || sc.PhysProcs() != 4 {
+		t.Fatalf("ccr sizing: degree %d, phys %d", sc.EffectiveDegree(), sc.PhysProcs())
+	}
+
+	// JSON round trip keeps mode and ckpt options.
+	b, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"mode":"ccr"`) || !strings.Contains(string(b), `"tau_seconds":0.1`) {
+		t.Fatalf("ccr JSON missing fields: %s", b)
+	}
+	var back scenario.Scenario
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode != scenario.CCR || back.Ckpt == nil || back.Ckpt.TauSeconds != 0.1 {
+		t.Fatalf("round trip mangled ccr scenario: %+v", back)
+	}
+
+	// Ckpt options change the fingerprint; nil and the empty object do not
+	// differ from each other.
+	fp := func(s scenario.Scenario) string {
+		t.Helper()
+		k, err := s.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	base := sc
+	base.Fault = nil
+	other := base
+	other.Ckpt = &scenario.CkptOptions{TauSeconds: 0.2, DeltaSeconds: 0.01}
+	if fp(base) == fp(other) {
+		t.Fatal("different ckpt intervals must fingerprint differently")
+	}
+	noCkpt, emptyCkpt := base, base
+	noCkpt.Ckpt = nil
+	emptyCkpt.Ckpt = &scenario.CkptOptions{}
+	if fp(noCkpt) != fp(emptyCkpt) {
+		t.Fatal("nil and empty ckpt options must key identically")
+	}
+
+	// Invalid combinations.
+	bad := sc
+	bad.Mode = scenario.Intra
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "ckpt") {
+		t.Fatalf("ckpt options outside ccr mode: %v", err)
+	}
+	bad = sc
+	bad.Ckpt = &scenario.CkptOptions{DeltaSeconds: -1}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative ckpt parameter: %v", err)
+	}
+	bad = sc
+	bad.Degree = 2
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "unreplicated") {
+		t.Fatalf("ccr with replicas: %v", err)
+	}
+	bad = sc
+	bad.Fault = &scenario.FaultSpec{Crashes: []scenario.Crash{{Logical: 0, Lane: 0, AtSeconds: 0.1}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "crash schedule") {
+		t.Fatalf("ccr with explicit crashes: %v", err)
+	}
+	// Native still rejects MTBF models.
+	bad = scenario.Scenario{App: "gtc", Mode: scenario.Native, Logical: 4,
+		Fault: &scenario.FaultSpec{MTBFSeconds: 0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("native with an MTBF fault model must stay invalid")
+	}
+}
+
+// TestGridCCRMode: ccr points expand once per process count (no degree
+// axis), carry the grid's ckpt options, and a ckpt block without a ccr
+// mode is an error.
+func TestGridCCRMode(t *testing.T) {
+	g := scenario.Grid{
+		Apps:    []string{"gtc"},
+		Modes:   []scenario.Mode{scenario.CCR, scenario.Intra},
+		Procs:   []int{4},
+		Degrees: []int{2, 3},
+		Ckpt:    &scenario.CkptOptions{DeltaSeconds: 0.02},
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ccr, intra int
+	for _, sc := range scs {
+		switch sc.Mode {
+		case scenario.CCR:
+			ccr++
+			if sc.Ckpt == nil || sc.Ckpt.DeltaSeconds != 0.02 {
+				t.Fatalf("ccr point lost the grid ckpt options: %+v", sc)
+			}
+			if sc.Degree != 0 {
+				t.Fatalf("ccr point carries degree %d", sc.Degree)
+			}
+		case scenario.Intra:
+			intra++
+			if sc.Ckpt != nil {
+				t.Fatalf("replicated point gained ckpt options: %+v", sc)
+			}
+		}
+	}
+	if ccr != 1 || intra != 2 {
+		t.Fatalf("grid expanded to %d ccr + %d intra points, want 1 + 2", ccr, intra)
+	}
+
+	g.Modes = []scenario.Mode{scenario.Intra}
+	if _, err := g.Expand(); err == nil || !strings.Contains(err.Error(), "ccr") {
+		t.Fatalf("ckpt options without a ccr mode: %v", err)
+	}
+}

@@ -111,6 +111,16 @@ type Transfer struct {
 	ev     *sim.Event
 	txDone sim.Time
 	bytes  int64
+
+	// Receiver-side reservation, remembered so Cancel can roll it back:
+	// the destination NIC (nil for same-node messages, which bypass it),
+	// the rxFree value before this transfer reserved it, the arrival it
+	// advanced rxFree to, and the occupancy it charged.
+	dst      *Node
+	prevRx   sim.Time
+	arrival  sim.Time
+	rxOcc    sim.Time
+	canceled bool
 }
 
 // TxDone returns the virtual time at which the sender NIC finishes
@@ -122,7 +132,31 @@ func (t *Transfer) Bytes() int64 { return t.bytes }
 
 // Cancel drops the message: it will never be delivered. Used by the fault
 // layer when the sender crashes mid-transmission.
-func (t *Transfer) Cancel() { t.ev.Cancel() }
+//
+// The receiver-side NIC reservation is rolled back: the bytes will never
+// cross that NIC, so leaving them booked would permanently delay every
+// later message into the node (the dead sender would keep throttling
+// survivors). The sender-side occupancy stays — the NIC really did
+// transmit until the crash, and the sender is dead anyway. If later
+// transfers already queued behind this one on the receiver, their arrival
+// events are fixed; the reservation shrinks by this transfer's occupancy
+// so only future traffic benefits.
+func (t *Transfer) Cancel() {
+	t.ev.Cancel()
+	if t.canceled || t.dst == nil {
+		return
+	}
+	t.canceled = true
+	if t.dst.rxFree == t.arrival {
+		// No later transfer queued behind this one: restore exactly.
+		t.dst.rxFree = t.prevRx
+	} else {
+		// Later reservations stacked on top; release this transfer's
+		// share. arrival >= prevRx + rxOcc and rxFree >= arrival, so
+		// this never rewinds past the pre-reservation state.
+		t.dst.rxFree -= t.rxOcc
+	}
+}
 
 // Network is the simulated interconnect.
 type Network struct {
@@ -186,10 +220,14 @@ func (n *Network) Send(from, to int, bytes int64, deliver func()) *Transfer {
 	src.txFree = txDone
 	src.txByte += bytes
 	rxStart := txStart + n.cfg.Latency
+	prevRx := dst.rxFree
 	if dst.rxFree > rxStart {
 		rxStart = dst.rxFree
 	}
 	arrival := rxStart + occ
 	dst.rxFree = arrival
-	return &Transfer{ev: n.e.At(arrival, deliver), txDone: txDone, bytes: bytes}
+	return &Transfer{
+		ev: n.e.At(arrival, deliver), txDone: txDone, bytes: bytes,
+		dst: dst, prevRx: prevRx, arrival: arrival, rxOcc: occ,
+	}
 }

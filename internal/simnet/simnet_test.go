@@ -115,6 +115,63 @@ func TestCancelDropsMessage(t *testing.T) {
 	}
 }
 
+// TestCancelReleasesReceiverNIC is the regression test for the cancel
+// leak: a canceled in-flight message (sender crashed mid-transmission)
+// used to leave its reservation on the receiver NIC, so a dead sender's
+// never-delivered bytes permanently delayed all later traffic into the
+// node. The rollback frees the receiver; the sender-side occupancy is
+// real (the NIC transmitted until the crash) and stays.
+func TestCancelReleasesReceiverNIC(t *testing.T) {
+	e := sim.New()
+	n := New(e, testCfg(), 3)
+	// 1 MB at 1 GB/s = 1 ms of rx occupancy on node 2.
+	tr := n.Send(0, 2, 1_000_000, func() { t.Error("canceled transfer delivered") })
+	var arrived sim.Time
+	e.At(500, func() {
+		tr.Cancel()
+		// A fresh 1000-byte message from node 1 must see a free receiver:
+		// tx [500,1500], rx starts at 500+latency(1000)=1500, arrives 2500.
+		n.Send(1, 2, 1000, func() { arrived = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(2500); arrived != want {
+		t.Fatalf("arrival after cancel = %v, want %v (canceled bytes still occupy the receiver NIC)", arrived, want)
+	}
+}
+
+// TestCancelUnderStackedReservations cancels the first of two queued
+// transfers into one receiver: the survivor's already-scheduled arrival
+// must not move, and future sends reclaim exactly the canceled occupancy.
+func TestCancelUnderStackedReservations(t *testing.T) {
+	e := sim.New()
+	n := New(e, testCfg(), 4)
+	tr := n.Send(0, 3, 10_000, func() { t.Error("canceled transfer delivered") })
+	var second, third sim.Time
+	// Second transfer queues behind the first on node 3's rx side:
+	// rx occupancy [11000, 21000], arrival 21000.
+	n.Send(1, 3, 10_000, func() { second = e.Now() })
+	e.At(500, func() { tr.Cancel() })
+	e.At(12_000, func() {
+		// With the canceled occupancy released the receiver frees at 11000:
+		// tx [12000,13000], rx starts at 13000, arrives 14000. Under the
+		// leak it stayed booked until 21000 and this arrived at 22000.
+		n.Send(2, 3, 1000, func() { third = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != 21_000 {
+		t.Fatalf("scheduled survivor moved: arrival %v, want 21000", second)
+	}
+	if want := sim.Time(14_000); third != want {
+		t.Fatalf("post-cancel send arrived at %v, want %v", third, want)
+	}
+	// Double cancel is a no-op, not a second rollback.
+	tr.Cancel()
+}
+
 func TestNodeOfBlockPlacement(t *testing.T) {
 	e := sim.New()
 	n := New(e, testCfg(), 4)
