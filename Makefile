@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench lint sweep figures campaign campaign-ccr check-docs validate-scenarios
+.PHONY: build test test-alloc bench bench-json lint sweep figures campaign campaign-ccr check-docs validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,19 @@ build:
 test:
 	$(GO) test -race ./...
 
+# Allocation budgets skip under -race (the detector itself allocates), so
+# they get a dedicated non-race invocation.
+test-alloc:
+	$(GO) test -run Alloc ./internal/sim ./internal/simnet ./internal/mpi ./internal/replication
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-json runs the substrate micro benchmarks at a real benchtime plus
+# the campaign-scale macro benchmarks, and writes BENCH_sim.json at the
+# repo root (the tracked perf trajectory; CI uploads it as an artifact).
+bench-json:
+	$(GO) run ./cmd/bench -out BENCH_sim.json
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,296 @@
+// Command bench runs the repository's performance trajectory: micro
+// benchmarks of the simulation substrate (raw engine event throughput,
+// point-to-point messaging, a 64-rank allreduce) and macro benchmarks at
+// campaign scale (the CI smoke sweep, Monte Carlo failure trials), and
+// writes the results as machine-readable JSON (BENCH_sim.json at the repo
+// root by default). CI uploads the file as an artifact next to the
+// determinism artifacts, so every commit carries its measured throughput.
+//
+// The embedded baseline is the pre-refactor engine (PR 4: closure-per-event
+// container/heap queue, eager park reasons, no pooling), measured on the
+// same benchmarks; the speedup section reports current/baseline so the
+// allocation-light refactor stays an observable, regression-checked fact.
+//
+//	go run ./cmd/bench -out BENCH_sim.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/perf"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Bench is one micro-benchmark result.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// Macro is one campaign-scale result: total wall time for a known unit
+// count, plus the derived rate.
+type Macro struct {
+	Name       string  `json:"name"`
+	Units      string  `json:"units"`
+	Count      int     `json:"count"`
+	Seconds    float64 `json:"seconds"`
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+// Speedup compares a current micro benchmark against the baseline.
+type Speedup struct {
+	Throughput  float64 `json:"throughput_x"`   // baseline ns/op ÷ current ns/op
+	AllocsRatio float64 `json:"allocs_ratio_x"` // baseline allocs/op ÷ current (+1 each to tolerate zero)
+}
+
+// Output is the BENCH_sim.json schema.
+type Output struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Micro       []Bench            `json:"micro"`
+	Macro       []Macro            `json:"macro"`
+	Baseline    []Bench            `json:"baseline"`
+	Speedup     map[string]Speedup `json:"speedup_vs_baseline"`
+}
+
+// baseline is the pre-refactor substrate (PR 4, commit f9c0b16), measured
+// with `go test -bench ... -benchmem -benchtime 1s` on the same benchmark
+// bodies (Xeon 2.70GHz, go1.24, GOMAXPROCS=1). It is pinned here so the
+// refactor's gain stays visible in every future BENCH_sim.json.
+var baseline = []Bench{
+	{Name: "engine-events", NsPerOp: 58.40, AllocsPerOp: 1, BytesPerOp: 48, OpsPerSec: 1e9 / 58.40},
+	{Name: "mpi-pingpong", NsPerOp: 4908, AllocsPerOp: 40, BytesPerOp: 3872, OpsPerSec: 1e9 / 4908},
+	{Name: "allreduce-64", NsPerOp: 930208, AllocsPerOp: 2714, BytesPerOp: 177141, OpsPerSec: 1e9 / 930208},
+}
+
+func toBench(name string, r testing.BenchmarkResult) Bench {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return Bench{
+		Name:        name,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		OpsPerSec:   1e9 / ns,
+	}
+}
+
+// benchEngineEvents measures raw event throughput: a single self-
+// rescheduling event chain, the engine's absolute hot path.
+func benchEngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(1, tick)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchPingPong measures one simulated send+recv round trip between two
+// ranks sharing a node.
+func benchPingPong(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New()
+	net := simnet.New(e, simnet.InfiniBand20G, 1)
+	w := mpi.NewWorld(e, net, 2, perf.Grid5000, nil)
+	payload := make([]float64, 128)
+	w.Launch("a", 0, func(r *mpi.Rank) {
+		for i := 0; i < b.N; i++ {
+			r.Send(r.World(), 1, 0, payload, nil)
+			if _, err := r.Recv(r.World(), 1, 1); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	w.Launch("b", 1, func(r *mpi.Rank) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Recv(r.World(), 0, 0); err != nil {
+				b.Error(err)
+				return
+			}
+			r.Send(r.World(), 0, 1, payload, nil)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchAllreduce measures a 64-rank simulated allreduce per op.
+func benchAllreduce(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New()
+	net := simnet.New(e, simnet.InfiniBand20G, 16)
+	w := mpi.NewWorld(e, net, 64, perf.Grid5000, nil)
+	w.LaunchAll("p", func(r *mpi.Rank) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.AllreduceScalar(r.World(), mpi.OpSum, 1); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// smokeGrid is the CI smoke scenario (scenarios/smoke.json) inlined so the
+// tool runs from any working directory: HPCCG under all three modes on a
+// small cluster.
+func smokeGrid() ([]scenario.Scenario, error) {
+	g := scenario.Grid{
+		Apps:    []string{"hpccg"},
+		Modes:   []scenario.Mode{scenario.Native, scenario.Classic, scenario.Intra},
+		Procs:   []int{8},
+		Degrees: []int{2},
+		Iters:   3,
+	}
+	return g.Expand()
+}
+
+// runSweepMacro times repeated full runs of the smoke grid through the
+// parallel sweep runner (fresh memo each repetition, so every scenario is
+// simulated).
+func runSweepMacro(reps int) (Macro, error) {
+	scs, err := smokeGrid()
+	if err != nil {
+		return Macro{}, err
+	}
+	start := time.Now()
+	count := 0
+	for i := 0; i < reps; i++ {
+		res, err := experiments.SweepScenarios(0, scs)
+		if err != nil {
+			return Macro{}, err
+		}
+		count += len(res)
+	}
+	el := time.Since(start).Seconds()
+	return Macro{
+		Name: "sweep-smoke", Units: "scenario-runs", Count: count,
+		Seconds: el, RatePerSec: float64(count) / el,
+	}, nil
+}
+
+// runCampaignMacro times a Monte Carlo failure campaign (GTC, classic
+// replication, 8 logical ranks, exponential failures) and reports seeded
+// trials per second. The rate includes the campaign's two fault-free
+// reference runs, i.e. it is the end-to-end cost per trial at this trial
+// count, which is what campaign wall time scales with.
+func runCampaignMacro(trials int) (Macro, error) {
+	ent, err := scenario.AppByName("gtc")
+	if err != nil {
+		return Macro{}, err
+	}
+	sc := campaign.Scenario{
+		MTBF: sim.Seconds(0.05),
+		Point: scenario.Scenario{
+			Name: "bench/gtc/classic/p8",
+			App:  "gtc", Config: scenario.MustRaw(ent.Paper(2, 0)),
+			Mode: scenario.Classic, Logical: 8, Degree: 2,
+		},
+	}
+	start := time.Now()
+	if _, err := campaign.Run(campaign.Config{Trials: trials, Seed: 1}, []campaign.Scenario{sc}); err != nil {
+		return Macro{}, err
+	}
+	el := time.Since(start).Seconds()
+	return Macro{
+		Name: "campaign-gtc-trials", Units: "trials", Count: trials,
+		Seconds: el, RatePerSec: float64(trials) / el,
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output JSON path")
+	reps := flag.Int("sweep-reps", 3, "repetitions of the smoke-grid sweep macro benchmark")
+	trials := flag.Int("trials", 100, "seeded trials for the campaign macro benchmark")
+	flag.Parse()
+
+	micro := []Bench{
+		toBench("engine-events", testing.Benchmark(benchEngineEvents)),
+		toBench("mpi-pingpong", testing.Benchmark(benchPingPong)),
+		toBench("allreduce-64", testing.Benchmark(benchAllreduce)),
+	}
+	speedup := make(map[string]Speedup, len(baseline))
+	for _, base := range baseline {
+		for _, cur := range micro {
+			if cur.Name != base.Name {
+				continue
+			}
+			speedup[cur.Name] = Speedup{
+				Throughput:  base.NsPerOp / cur.NsPerOp,
+				AllocsRatio: float64(base.AllocsPerOp+1) / float64(cur.AllocsPerOp+1),
+			}
+		}
+	}
+
+	var macro []Macro
+	for _, run := range []func() (Macro, error){
+		func() (Macro, error) { return runSweepMacro(*reps) },
+		func() (Macro, error) { return runCampaignMacro(*trials) },
+	} {
+		m, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		macro = append(macro, m)
+	}
+
+	o := Output{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Micro:       micro,
+		Macro:       macro,
+		Baseline:    baseline,
+		Speedup:     speedup,
+	}
+	b, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, m := range micro {
+		fmt.Printf("%-16s %10.1f ns/op %6d allocs/op %8d B/op  (%.2fx vs baseline)\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, speedup[m.Name].Throughput)
+	}
+	for _, m := range macro {
+		fmt.Printf("%-20s %6d %s in %.2fs = %.1f/s\n", m.Name, m.Count, m.Units, m.Seconds, m.RatePerSec)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,69 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/testutil"
+)
+
+// pingPongAllocs runs a two-rank ping-pong of the given length in a fresh
+// world and returns the total allocation count. Callers difference two
+// lengths so the fixed setup cost (engine, world, goroutines) cancels out.
+func pingPongAllocs(t *testing.T, rounds int) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		e := sim.New()
+		net := simnet.New(e, simnet.InfiniBand20G, 1)
+		w := NewWorld(e, net, 2, perf.Grid5000, nil)
+		payload := make([]float64, 16)
+		w.Launch("a", 0, func(r *Rank) {
+			for i := 0; i < rounds; i++ {
+				if err := r.Send(r.World(), 1, 0, payload, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := r.Recv(r.World(), 1, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		w.Launch("b", 1, func(r *Rank) {
+			for i := 0; i < rounds; i++ {
+				if _, err := r.Recv(r.World(), 0, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.Send(r.World(), 0, 1, payload, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestPingPongAllocBudget pins the allocation-light p2p hot path. One round
+// is two messages plus two receives; each message costs the payload copy,
+// the Message, the Request, and the in-flight record, and each receive one
+// Request — everything else (events, transfers, delivery and completion
+// callbacks, park reasons) must stay allocation-free. The pre-refactor
+// engine spent ~40 allocations per round; the budget fails CI if the hot
+// path regresses toward that.
+func TestPingPongAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	const span = 1000
+	perRound := (pingPongAllocs(t, 100+span) - pingPongAllocs(t, 100)) / span
+	t.Logf("allocs per ping-pong round: %.2f", perRound)
+	if perRound > 12 {
+		t.Fatalf("ping-pong round allocates %.2f objects, budget 12", perRound)
+	}
+}

@@ -1,11 +1,11 @@
 package mpi
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/perf"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 // Rank is the process-facing handle for one MPI rank. It is only valid
@@ -57,13 +57,16 @@ func (r *Rank) Crash() { r.p.Crash() }
 // Dead reports whether another rank has crashed.
 func (r *Rank) Dead(rank int) bool { return r.st.w.ranks[rank].dead }
 
-// Request is a handle on a nonblocking operation.
+// Request is a handle on a nonblocking operation. The completion future is
+// embedded by value and send completion is scheduled with the request
+// itself as the typed timer, so posting an operation costs exactly one
+// allocation: the Request.
 type Request struct {
 	id     uint64
 	st     *rankState
 	key    matchKey // receive matching key (recv only)
 	isRecv bool
-	fut    *sim.Future
+	fut    sim.Future
 	msg    *Message
 	err    error
 }
@@ -73,8 +76,14 @@ func newRequest(st *rankState, isRecv bool, key matchKey) *Request {
 	// that independent worlds — e.g. one per sweep worker — never share
 	// mutable state and stay individually deterministic.
 	st.w.reqSeq++
-	return &Request{id: st.w.reqSeq, st: st, isRecv: isRecv, key: key, fut: st.w.e.NewFuture()}
+	rq := &Request{id: st.w.reqSeq, st: st, isRecv: isRecv, key: key}
+	rq.fut.Init(st.w.e)
+	return rq
 }
+
+// Fire completes the request with no message and no error; it is the typed
+// send-completion callback scheduled at the local NIC's TxDone time.
+func (rq *Request) Fire() { rq.complete(nil, nil) }
 
 func (rq *Request) complete(msg *Message, err error) {
 	rq.msg = msg
@@ -157,23 +166,34 @@ func (st *rankState) isendSized(c *Comm, dst, tag int, data []float64, meta any,
 	dstState := w.ranks[worldDst]
 	if dstState.dead {
 		// Crash-stop destination: the message vanishes. Model the local NIC
-		// cost anyway (the sender cannot know).
-		tr := w.net.Send(st.node, dstState.node, msg.Bytes, func() {})
-		w.e.At(tr.TxDone(), func() { req.complete(nil, nil) })
+		// cost anyway (the sender cannot know). The no-op delivery event is
+		// still scheduled so the engine's event sequence — and with it every
+		// same-timestamp tie-break — is identical to the live-receiver path.
+		//
+		// Known modeling gap (pre-dating this path's rewrite, kept for
+		// output stability): this transfer is not tracked in st.outgoing,
+		// so if the sender also crashes before TxDone the receiver-node
+		// rxFree reservation is never rolled back.
+		var tr simnet.Transfer
+		w.net.SendInto(&tr, st.node, dstState.node, msg.Bytes, nopTimer{})
+		w.e.AtTimer(tr.TxDone(), req)
 		return req
 	}
 	dstState.inflight[key]++
-	om := &outMsg{dst: worldDst, key: key}
-	om.tr = w.net.Send(st.node, dstState.node, msg.Bytes, func() {
-		om.delivered = true
-		dstState.inflight[key]--
-		dstState.deliver(key, msg)
-	})
+	om := &outMsg{dstSt: dstState, msg: msg, dst: worldDst, key: key}
+	w.net.SendInto(&om.tr, st.node, dstState.node, msg.Bytes, om)
 	st.outgoing = append(st.outgoing, om)
 	st.pruneOutgoing()
-	w.e.At(om.tr.TxDone(), func() { req.complete(nil, nil) })
+	w.e.AtTimer(om.tr.TxDone(), req)
 	return req
 }
+
+// nopTimer is a zero-size sim.Timer for events that only exist to keep the
+// engine's event sequence aligned (e.g. the vanished delivery of a message
+// to a crashed rank).
+type nopTimer struct{}
+
+func (nopTimer) Fire() {}
 
 // pruneOutgoing drops completed transfers so the in-flight list stays small.
 func (st *rankState) pruneOutgoing() {
@@ -197,7 +217,12 @@ func (st *rankState) deliver(key matchKey, msg *Message) {
 	}
 	if reqs := st.pending[key]; len(reqs) > 0 {
 		rq := reqs[0]
-		st.pending[key] = reqs[1:]
+		// Shift in place rather than re-slicing from the front: the base
+		// pointer stays put, so later appends reuse the capacity instead of
+		// drifting toward a reallocation per queue cycle.
+		copy(reqs, reqs[1:])
+		reqs[len(reqs)-1] = nil
+		st.pending[key] = reqs[:len(reqs)-1]
 		rq.complete(msg, nil)
 		return
 	}
@@ -221,7 +246,9 @@ func (r *Rank) Irecv(c *Comm, src, tag int) *Request {
 	req := newRequest(st, true, key)
 	if q := st.unexpected[key]; len(q) > 0 {
 		msg := q[0]
-		st.unexpected[key] = q[1:]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		st.unexpected[key] = q[:len(q)-1]
 		req.complete(msg, nil)
 		return req
 	}
@@ -237,7 +264,9 @@ func (st *rankState) removePending(rq *Request) {
 	reqs := st.pending[rq.key]
 	for i, q := range reqs {
 		if q == rq {
-			st.pending[rq.key] = append(reqs[:i:i], reqs[i+1:]...)
+			copy(reqs[i:], reqs[i+1:])
+			reqs[len(reqs)-1] = nil
+			st.pending[rq.key] = reqs[:len(reqs)-1]
 			return
 		}
 	}
@@ -251,11 +280,14 @@ func (r *Rank) Wait(rq *Request) error {
 	return err
 }
 
-func waitReason(rq *Request) string {
+// waitReason builds the park reason as a value: the "recv from %d tag %d"
+// text is rendered only if a deadlock report is actually assembled, not on
+// every blocking receive.
+func waitReason(rq *Request) sim.ParkReason {
 	if rq.isRecv {
-		return fmt.Sprintf("recv from %d tag %d", rq.key.src, rq.key.tag)
+		return sim.ParkReason{Kind: sim.WaitRecv, A: int64(rq.key.src), B: int64(rq.key.tag)}
 	}
-	return "send completion"
+	return sim.ParkReason{Kind: sim.WaitSendDone}
 }
 
 // Waitall waits for every request and returns the first error encountered
@@ -292,7 +324,9 @@ func (r *Rank) TryRecv(c *Comm, src, tag int) (*Message, bool) {
 	key := matchKey{src: c.WorldRank(src), tag: tag, comm: c.id}
 	if q := st.unexpected[key]; len(q) > 0 {
 		msg := q[0]
-		st.unexpected[key] = q[1:]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		st.unexpected[key] = q[:len(q)-1]
 		return msg, true
 	}
 	return nil, false

@@ -57,11 +57,25 @@ type rankState struct {
 	stats      Stats
 }
 
+// outMsg is one in-flight transmission. The simnet Transfer is embedded by
+// value and the outMsg itself is the typed delivery callback, so a send
+// allocates neither a separate Transfer nor a delivery closure.
 type outMsg struct {
-	tr        *simnet.Transfer
-	dst       int
+	tr        simnet.Transfer
+	dstSt     *rankState // destination rank
+	msg       *Message
+	dst       int // destination world rank
 	key       matchKey
 	delivered bool
+}
+
+// Fire delivers the message at the arrival time (sim.Timer).
+func (om *outMsg) Fire() {
+	om.delivered = true
+	msg := om.msg
+	om.msg = nil // the receiver owns it now; drop our reference
+	om.dstSt.inflight[om.key]--
+	om.dstSt.deliver(om.key, msg)
 }
 
 type matchKey struct {

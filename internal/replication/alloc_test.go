@@ -1,0 +1,58 @@
+package replication
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// logicalPingAllocs runs a degree-2 logical ping-pong (with send logging,
+// the paper's operating mode) and returns total allocations; callers
+// difference two lengths to cancel the fixed setup cost.
+func logicalPingAllocs(t *testing.T, rounds int) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		e, s := testSystem(t, 2, 2, true)
+		payload := make([]float64, 8)
+		s.Launch("pp", func(p *Proc) {
+			var err error
+			for i := 0; i < rounds; i++ {
+				if p.Logical == 0 {
+					err = p.Send(1, 1, payload, nil)
+					if err == nil {
+						_, err = p.Recv(1, 2)
+					}
+				} else {
+					_, err = p.Recv(0, 1)
+					if err == nil {
+						err = p.Send(0, 2, payload, nil)
+					}
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		run(t, e)
+	})
+}
+
+// TestLogicalSendAllocBudget pins the replicated send path: one logical
+// round is two logical sends (each fanned out to two lanes by both
+// replicas, so eight physical messages) plus the matching receives, and
+// with send logging every send also copies its payload into the log. The
+// budget holds the per-round cost to the irreducible copies and records
+// (log entry, header box, per-message Message/Request/in-flight record);
+// the scheduling machinery underneath must contribute nothing.
+func TestLogicalSendAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	const span = 500
+	perRound := (logicalPingAllocs(t, 100+span) - logicalPingAllocs(t, 100)) / span
+	t.Logf("allocs per logical ping-pong round: %.2f", perRound)
+	if perRound > 35 {
+		t.Fatalf("logical round allocates %.2f objects, budget 35", perRound)
+	}
+}

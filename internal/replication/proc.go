@@ -20,6 +20,7 @@ type Proc struct {
 	sendSeq   map[chanKey]uint64                  // next seq per (logical dst, tag)
 	log       []logEntry                          // send log for crash coverage
 	collRound int                                 // collective round counter
+	reqbuf    []*mpi.Request                      // scratch for blocking sends
 }
 
 // chanKey identifies a logical message channel.
@@ -76,10 +77,12 @@ func (p *Proc) Send(dst, tag int, data []float64, meta any) error {
 }
 
 // SendSized is Send with an explicit modeled payload size (for scaled
-// experiment runs).
+// experiment runs). The per-lane request slice is a scratch buffer reused
+// across calls: the blocking wait drains it before return, so the hot
+// send-wait path does not allocate it anew each time.
 func (p *Proc) SendSized(dst, tag int, data []float64, meta any, payloadBytes int64) error {
-	reqs := p.IsendSized(dst, tag, data, meta, payloadBytes)
-	return p.R.Waitall(reqs)
+	p.reqbuf = p.isendInto(p.reqbuf[:0], dst, tag, data, meta, payloadBytes)
+	return p.R.Waitall(p.reqbuf)
 }
 
 // Isend is the nonblocking variant of Send. The returned requests complete
@@ -90,6 +93,10 @@ func (p *Proc) Isend(dst, tag int, data []float64, meta any) []*mpi.Request {
 
 // IsendSized is Isend with an explicit modeled payload size.
 func (p *Proc) IsendSized(dst, tag int, data []float64, meta any, payloadBytes int64) []*mpi.Request {
+	return p.isendInto(nil, dst, tag, data, meta, payloadBytes)
+}
+
+func (p *Proc) isendInto(reqs []*mpi.Request, dst, tag int, data []float64, meta any, payloadBytes int64) []*mpi.Request {
 	key := chanKey{peer: dst, tag: tag}
 	p.sendSeq[key]++
 	seq := p.sendSeq[key]
@@ -99,7 +106,6 @@ func (p *Proc) IsendSized(dst, tag int, data []float64, meta any, payloadBytes i
 		copy(buf, data)
 		p.log = append(p.log, logEntry{dst: dst, tag: tag, seq: seq, data: buf, meta: meta, bytes: payloadBytes})
 	}
-	var reqs []*mpi.Request
 	for l := 0; l < p.s.cfg.Degree; l++ {
 		cover, ok := p.s.Cover(p.Logical, l)
 		if !ok || cover != p.Lane {

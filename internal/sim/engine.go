@@ -1,54 +1,82 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
 )
 
-// Event is a scheduled callback. It can be canceled before it fires.
+// Event kinds. The hot paths (process wake-ups, typed timers) carry their
+// operand in the event node itself instead of a closure, so scheduling them
+// allocates nothing once the engine's free list is warm.
+const (
+	evCall  uint8 = iota // fn()
+	evWake               // resume(proc)
+	evTimer              // tm.Fire()
+)
+
+// Event is a pooled event-queue node. Nodes are owned by the engine: they
+// are recycled through a free list as soon as they fire or are canceled,
+// so external code never holds a *Event — it holds an EventRef, which
+// detects staleness via the node's generation counter.
 type Event struct {
-	t        Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
+	e     *Engine
+	t     Time
+	seq   uint64
+	fn    func() // evCall
+	proc  *Proc  // evWake
+	tm    Timer  // evTimer
+	gen   uint32
+	index int32 // position in the queue, -1 when not queued
+	kind  uint8
 }
 
-// Cancel prevents the event from firing. Canceling an already-fired event is
-// a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+// Timer is a typed scheduled callback: upper layers implement Fire on an
+// object they already allocate per logical operation (a request, an
+// in-flight message), so scheduling it costs no closure.
+type Timer interface {
+	Fire()
+}
 
-// Time returns the virtual time at which the event is scheduled to fire.
-func (ev *Event) Time() Time { return ev.t }
+// EventRef is a cancelable handle on a scheduled event. It is a value: the
+// generation captured at scheduling time makes a stale handle (one whose
+// event already fired and whose node was recycled) a safe no-op.
+type EventRef struct {
+	ev  *Event
+	gen uint32
+}
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// Cancel removes the event from the queue immediately; the queue does not
+// accumulate tombstones. Canceling an event that already fired (or was
+// already canceled) is a no-op.
+func (r EventRef) Cancel() {
+	ev := r.ev
+	if ev == nil || ev.gen != r.gen || ev.index < 0 {
+		return
 	}
-	return h[i].seq < h[j].seq
+	ev.e.heapRemove(ev)
+	ev.e.recycle(ev)
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index, h[j].index = i, j
+
+// Time returns the virtual time the event is scheduled to fire at, or -1 if
+// the handle is stale (the event fired or was canceled).
+func (r EventRef) Time() Time {
+	if r.ev == nil || r.ev.gen != r.gen || r.ev.index < 0 {
+		return -1
+	}
+	return r.ev.t
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+// heapEntry is one slot of the event queue: the ordering key is stored by
+// value so comparisons never chase the node pointer.
+type heapEntry struct {
+	t   Time
+	seq uint64
+	ev  *Event
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+func entryLess(a, b heapEntry) bool {
+	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
 }
 
 // Engine is a discrete-event simulation engine. It owns the virtual clock
@@ -56,9 +84,14 @@ func (h *eventHeap) Pop() any {
 // An Engine must not be shared across OS threads while Run is active; all
 // interaction happens from engine events or from process goroutines, which
 // are mutually exclusive by construction.
+//
+// The event queue is a hand-rolled 4-ary heap of (time, seq) keys; event
+// nodes are pooled through a free list, so the steady-state hot path
+// (schedule, fire, recycle) performs no allocation.
 type Engine struct {
 	now       Time
-	queue     eventHeap
+	queue     []heapEntry
+	free      []*Event
 	seq       uint64
 	parkedCh  chan struct{}
 	cur       *Proc
@@ -78,20 +111,153 @@ func (e *Engine) Now() Time { return e.now }
 // Events returns the number of events processed so far (for diagnostics).
 func (e *Engine) Events() uint64 { return e.nEvents }
 
-// At schedules fn to run in engine context at virtual time t. Scheduling in
-// the past is clamped to the present. The returned Event can be canceled.
-func (e *Engine) At(t Time, fn func()) *Event {
+// Pending returns the number of events currently queued. Canceled events
+// are removed immediately, so Pending reflects live events only.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// schedule allocates (or reuses) an event node and pushes it on the queue.
+func (e *Engine) schedule(t Time, kind uint8) *Event {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{t: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{e: e}
+	}
+	ev.t = t
+	ev.seq = e.seq
+	ev.kind = kind
+	e.heapPush(ev)
 	return ev
 }
 
+// recycle returns a node (already off the queue) to the free list. The
+// generation bump invalidates every outstanding EventRef to the node.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.proc = nil
+	ev.tm = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run in engine context at virtual time t. Scheduling in
+// the past is clamped to the present. The returned EventRef can cancel it.
+func (e *Engine) At(t Time, fn func()) EventRef {
+	ev := e.schedule(t, evCall)
+	ev.fn = fn
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
 // After schedules fn to run d nanoseconds of virtual time from now.
-func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
+func (e *Engine) After(d Time, fn func()) EventRef { return e.At(e.now+d, fn) }
+
+// AtTimer schedules tm.Fire to run in engine context at virtual time t.
+// Unlike At, it captures no closure: the callback state lives in tm, which
+// the caller has typically already allocated for its own bookkeeping.
+func (e *Engine) AtTimer(t Time, tm Timer) EventRef {
+	ev := e.schedule(t, evTimer)
+	ev.tm = tm
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// wakeAt schedules a typed wake-up of p at time t: the common case (Sleep,
+// Future completion, Spawn) that previously cost a closure per call.
+func (e *Engine) wakeAt(t Time, p *Proc) {
+	ev := e.schedule(t, evWake)
+	ev.proc = p
+}
+
+// --- 4-ary heap over heapEntry, ordered by (t, seq) ---
+
+func (e *Engine) heapPush(ev *Event) {
+	i := len(e.queue)
+	e.queue = append(e.queue, heapEntry{t: ev.t, seq: ev.seq, ev: ev})
+	ev.index = int32(i)
+	e.siftUp(i)
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ent := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(ent, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].ev.index = int32(i)
+		i = parent
+	}
+	q[i] = ent
+	ent.ev.index = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ent := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if entryLess(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !entryLess(q[min], ent) {
+			break
+		}
+		q[i] = q[min]
+		q[i].ev.index = int32(i)
+		i = min
+	}
+	q[i] = ent
+	ent.ev.index = int32(i)
+}
+
+// heapPop removes and returns the earliest event.
+func (e *Engine) heapPop() *Event {
+	q := e.queue
+	ev := q[0].ev
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = heapEntry{}
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// heapRemove removes an arbitrary queued event via its stored index.
+func (e *Engine) heapRemove(ev *Event) {
+	i := int(ev.index)
+	q := e.queue
+	n := len(q) - 1
+	q[i] = q[n]
+	q[n] = heapEntry{}
+	e.queue = q[:n]
+	if i < n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+	ev.index = -1
+}
 
 // OnKill registers a hook invoked (in engine context) whenever a process is
 // crashed via Kill or Crash. Hooks run before the victim's goroutine unwinds
@@ -110,31 +276,74 @@ func (d *DeadlockError) Error() string {
 		len(d.Blocked), strings.Join(d.Blocked, "; "))
 }
 
-// Run executes events until the queue is empty. It returns a *DeadlockError
-// if processes remain blocked afterwards, and the first process failure
-// (panic) otherwise, if any.
+// ProcFailureError reports that a process failed (panicked). If other
+// processes were left blocked when the queue drained, the deadlock report
+// is attached rather than masked: the failure usually explains the
+// deadlock, and debugging needs both.
+type ProcFailureError struct {
+	Proc     string         // name of the failed process
+	Failure  error          // the recovered panic, as an error
+	Deadlock *DeadlockError // blocked-process report, if any (may be nil)
+}
+
+func (p *ProcFailureError) Error() string {
+	s := fmt.Sprintf("sim: process %s failed: %v", p.Proc, p.Failure)
+	if p.Deadlock != nil {
+		s += " (" + p.Deadlock.Error() + ")"
+	}
+	return s
+}
+
+// Unwrap exposes both the underlying failure and, when present, the
+// blocked-process report, so errors.Is/errors.As reach either.
+func (p *ProcFailureError) Unwrap() []error {
+	if p.Deadlock != nil {
+		return []error{p.Failure, p.Deadlock}
+	}
+	return []error{p.Failure}
+}
+
+// Run executes events until the queue is empty. It returns a
+// *ProcFailureError if a process failed (with any deadlock report
+// attached), and a *DeadlockError if processes remain blocked afterwards.
 func (e *Engine) Run() error {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
+	for len(e.queue) > 0 {
+		ev := e.heapPop()
 		e.now = ev.t
 		e.nEvents++
-		ev.fn()
+		// Copy the payload out and recycle before dispatch: the callback
+		// may schedule new events, which can then reuse this node.
+		kind, p, fn, tm := ev.kind, ev.proc, ev.fn, ev.tm
+		e.recycle(ev)
+		switch kind {
+		case evWake:
+			e.resume(p)
+		case evTimer:
+			tm.Fire()
+		default:
+			fn()
+		}
 	}
 	var blocked []string
+	var failed *Proc
 	for _, p := range e.procs {
 		if p.state == stateParked {
-			blocked = append(blocked, p.name+": "+p.why)
+			blocked = append(blocked, p.name+": "+p.why.String())
 		}
-		if p.failure != nil {
-			return fmt.Errorf("sim: process %s failed: %v", p.name, p.failure)
+		if p.failure != nil && failed == nil {
+			failed = p
 		}
 	}
+	var dl *DeadlockError
 	if len(blocked) > 0 {
 		sort.Strings(blocked)
-		return &DeadlockError{Blocked: blocked}
+		dl = &DeadlockError{Blocked: blocked}
+	}
+	if failed != nil {
+		return &ProcFailureError{Proc: failed.name, Failure: failed.failure, Deadlock: dl}
+	}
+	if dl != nil {
+		return dl
 	}
 	return nil
 }

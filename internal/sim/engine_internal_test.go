@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestCancelRemovesFromQueue pins the tombstone fix: canceling an event
+// removes it from the queue immediately instead of leaving a dead node to
+// be skipped at pop time (fault-heavy campaigns cancel one event per
+// matched transfer, so tombstones used to accumulate for the whole run).
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := New()
+	refs := make([]EventRef, 0, 100)
+	for i := 0; i < 100; i++ {
+		refs = append(refs, e.At(Time(10+i), func() {}))
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", e.Pending())
+	}
+	for i, r := range refs {
+		if i%2 == 0 {
+			r.Cancel()
+		}
+	}
+	if e.Pending() != 50 {
+		t.Fatalf("Pending after 50 cancels = %d, want 50", e.Pending())
+	}
+	// Double cancel is a no-op, not a second removal.
+	refs[0].Cancel()
+	if e.Pending() != 50 {
+		t.Fatalf("Pending after double cancel = %d, want 50", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", e.Pending())
+	}
+	if e.Events() != 50 {
+		t.Fatalf("Events = %d, want 50 (canceled events must not be counted)", e.Events())
+	}
+}
+
+// TestCancelPreservesOrdering removes random events from a random queue and
+// checks the survivors still fire in (t, seq) order.
+func TestCancelPreservesOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		e := New()
+		type rec struct {
+			at  Time
+			ref EventRef
+		}
+		var scheduled []rec
+		var fired []Time
+		for i := 0; i < 200; i++ {
+			at := Time(rng.Intn(50))
+			r := e.At(at, func() { fired = append(fired, at) })
+			scheduled = append(scheduled, rec{at: at, ref: r})
+		}
+		var want []Time
+		for _, s := range scheduled {
+			if rng.Intn(3) == 0 {
+				s.ref.Cancel()
+			} else {
+				want = append(want, s.at)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("fired %d events, want %d", len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: fired[%d] = %v, want %v", trial, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStaleEventRefIsNoOp pins the pool-safety property: once an event has
+// fired and its node was recycled into a new event, the old handle must not
+// cancel the new occupant.
+func TestStaleEventRefIsNoOp(t *testing.T) {
+	e := New()
+	var stale EventRef
+	stale = e.At(1, func() {})
+	laterFired := false
+	e.At(2, func() {
+		// The node behind `stale` was recycled when its event fired at t=1;
+		// this new event likely reuses it.
+		e.At(5, func() { laterFired = true })
+		stale.Cancel()
+		if got := stale.Time(); got != -1 {
+			t.Errorf("stale ref Time = %v, want -1", got)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !laterFired {
+		t.Fatal("stale EventRef.Cancel canceled a recycled event")
+	}
+}
+
+// TestRunReportsFailureAndDeadlock pins the diagnostic fix: a process
+// failure no longer masks the blocked-process report.
+func TestRunReportsFailureAndDeadlock(t *testing.T) {
+	e := New()
+	f := e.NewFuture()
+	e.Spawn("stuck", func(p *Proc) { f.Wait(p, Reason("waiting forever")) })
+	e.Spawn("boom", func(p *Proc) {
+		p.Sleep(1)
+		panic("kaboom")
+	})
+	err := e.Run()
+	var pf *ProcFailureError
+	if !errors.As(err, &pf) {
+		t.Fatalf("err = %v, want *ProcFailureError", err)
+	}
+	if pf.Proc != "boom" {
+		t.Fatalf("failed proc = %q, want boom", pf.Proc)
+	}
+	if pf.Deadlock == nil {
+		t.Fatal("deadlock report was masked by the process failure")
+	}
+	if len(pf.Deadlock.Blocked) != 1 || pf.Deadlock.Blocked[0] != "stuck: waiting forever" {
+		t.Fatalf("blocked = %v", pf.Deadlock.Blocked)
+	}
+	// Both causes are reachable through the error chain.
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatal("errors.As did not reach the attached DeadlockError")
+	}
+}
+
+// TestErrorTypedPanicIsUnwrappable checks that a process panicking with a
+// typed error keeps it reachable through the Run error chain.
+func TestErrorTypedPanicIsUnwrappable(t *testing.T) {
+	sentinel := errors.New("typed failure")
+	e := New()
+	e.Spawn("bad", func(p *Proc) { panic(fmt.Errorf("wrapped: %w", sentinel)) })
+	err := e.Run()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is lost the panicked error: %v", err)
+	}
+}
+
+// TestParkReasonStrings pins the lazy reasons to the exact report text the
+// eager fmt.Sprintf calls used to produce.
+func TestParkReasonStrings(t *testing.T) {
+	cases := []struct {
+		r    ParkReason
+		want string
+	}{
+		{ParkReason{Kind: WaitNotStarted}, "not started"},
+		{ParkReason{Kind: WaitSleep, A: int64(5 * Millisecond)}, "sleeping 5.000ms"},
+		{ParkReason{Kind: WaitRecv, A: 3, B: 17}, "recv from 3 tag 17"},
+		{ParkReason{Kind: WaitSendDone}, "send completion"},
+		{ParkReason{Kind: WaitFuture}, "waiting on future"},
+		{Reason("custom text"), "custom text"},
+		{ParkReason{}, "waiting"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+// --- allocation budgets (the tentpole's regression guards) ---
+
+// TestSleepAllocs pins the zero-allocation Sleep hot path: 1000 sleeps must
+// stay within a small fixed budget (engine + spawn + the goroutine), i.e.
+// well under one allocation per sleep.
+func TestSleepAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	const rounds = 1000
+	avg := testing.AllocsPerRun(5, func() {
+		e := New()
+		e.Spawn("s", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				p.Sleep(1)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Error(err)
+		}
+	})
+	// Fixed setup (engine, channels, proc, goroutine, heap growth) is under
+	// ~20 allocations; 1000 zero-alloc sleeps must not add to it.
+	if avg > 30 {
+		t.Fatalf("engine run with %d sleeps allocated %.0f objects, budget 30", rounds, avg)
+	}
+}
+
+// TestEventAllocs pins the pooled event path: a warm engine schedules and
+// fires events without allocating.
+func TestEventAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	e := New()
+	const rounds = 1000
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n%rounds != 0 {
+			e.After(1, tick)
+		}
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		e.After(1, tick)
+		if err := e.Run(); err != nil {
+			t.Error(err)
+		}
+	})
+	if avg > 5 {
+		t.Fatalf("%d pooled events allocated %.0f objects, budget 5", rounds, avg)
+	}
+}
+
+// TestFutureSingleWaiterAllocs pins the single-waiter fast path: wait +
+// complete on an embedded future allocates only the wake event bookkeeping
+// (nothing, once the pool is warm).
+func TestFutureSingleWaiterAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	const rounds = 500
+	avg := testing.AllocsPerRun(5, func() {
+		e := New()
+		futs := make([]Future, rounds)
+		for i := range futs {
+			futs[i].Init(e)
+		}
+		e.Spawn("w", func(p *Proc) {
+			for i := range futs {
+				futs[i].Wait(p, ParkReason{Kind: WaitFuture})
+			}
+		})
+		e.Spawn("c", func(p *Proc) {
+			for i := range futs {
+				p.Sleep(1)
+				futs[i].Complete(nil, nil)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Error(err)
+		}
+	})
+	// Budget: fixed setup plus the futs slice; no per-wait allocation.
+	if avg > 40 {
+		t.Fatalf("%d future waits allocated %.0f objects, budget 40", rounds, avg)
+	}
+}

@@ -3,17 +3,29 @@ package sim
 // Future is a one-shot completion variable. Processes block on Wait until
 // some event (or another process) calls Complete. A Future may be completed
 // at most once; waiters are woken in deterministic order.
+//
+// A Future can be embedded by value in a caller's own per-operation record
+// (initialize it with Init), so posting an operation costs one allocation
+// for the record rather than one more for the future.
 type Future struct {
 	e       *Engine
 	done    bool
 	val     any
 	err     error
-	waiters []*Proc
+	w0      *Proc   // first waiter: the overwhelmingly common case
+	waiters []*Proc // further waiters, in arrival order
 	onDone  []func(any, error)
 }
 
 // NewFuture creates an incomplete future on the engine.
-func (e *Engine) NewFuture() *Future { return &Future{e: e} }
+func (e *Engine) NewFuture() *Future {
+	f := &Future{}
+	f.Init(e)
+	return f
+}
+
+// Init (re)initializes an embedded future in place.
+func (f *Future) Init(e *Engine) { *f = Future{e: e} }
 
 // Done reports whether the future has been completed.
 func (f *Future) Done() bool { return f.done }
@@ -31,9 +43,12 @@ func (f *Future) Complete(v any, err error) {
 	f.done = true
 	f.val = v
 	f.err = err
+	if f.w0 != nil {
+		f.e.wakeAt(f.e.now, f.w0)
+		f.w0 = nil
+	}
 	for _, w := range f.waiters {
-		w := w
-		f.e.At(f.e.now, func() { f.e.resume(w) })
+		f.e.wakeAt(f.e.now, w)
 	}
 	f.waiters = nil
 	for _, fn := range f.onDone {
@@ -53,10 +68,15 @@ func (f *Future) OnDone(fn func(any, error)) {
 }
 
 // Wait blocks the calling process until the future completes and returns
-// its value and error. The reason string is used in deadlock reports.
-func (f *Future) Wait(p *Proc, reason string) (any, error) {
+// its value and error. The reason value is rendered only in deadlock
+// reports; waiting on a single-waiter future allocates nothing.
+func (f *Future) Wait(p *Proc, reason ParkReason) (any, error) {
 	for !f.done {
-		f.waiters = append(f.waiters, p)
+		if f.w0 == nil {
+			f.w0 = p
+		} else {
+			f.waiters = append(f.waiters, p)
+		}
 		p.park(reason)
 		// A stale wake-up is impossible for plain futures (each waiter is
 		// woken exactly once, by Complete), but re-checking keeps the loop

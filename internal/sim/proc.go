@@ -25,9 +25,9 @@ type Proc struct {
 	resumeCh chan struct{}
 	state    procState
 	killed   bool
-	why      string // reason for the current park, for deadlock reports
-	failure  any    // recovered panic value, if the process failed
-	userData any    // opaque slot for upper layers (e.g. the MPI rank)
+	why      ParkReason // reason for the current park, for deadlock reports
+	failure  error      // recovered panic value, if the process failed
+	userData any        // opaque slot for upper layers (e.g. the MPI rank)
 }
 
 // Spawn creates a process named name running fn, scheduled to start at the
@@ -39,11 +39,11 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		name:     name,
 		resumeCh: make(chan struct{}),
 		state:    stateParked,
-		why:      "not started",
+		why:      ParkReason{Kind: WaitNotStarted},
 	}
 	e.procs = append(e.procs, p)
 	go p.run(fn)
-	e.At(e.now, func() { e.resume(p) })
+	e.wakeAt(e.now, p)
 	return p
 }
 
@@ -59,7 +59,11 @@ func (p *Proc) run(fn func(*Proc)) {
 			p.e.runKillHooks(p)
 		default:
 			p.state = stateDone
-			p.failure = fmt.Errorf("panic: %v", r)
+			if err, ok := r.(error); ok {
+				p.failure = fmt.Errorf("panic: %w", err)
+			} else {
+				p.failure = fmt.Errorf("panic: %v", r)
+			}
 		}
 		p.e.parkedCh <- struct{}{}
 	}()
@@ -100,8 +104,9 @@ func (p *Proc) SetUserData(v any) { p.userData = v }
 func (p *Proc) UserData() any { return p.userData }
 
 // park blocks the calling process until the engine resumes it. Must be
-// called from the process's own goroutine.
-func (p *Proc) park(reason string) {
+// called from the process's own goroutine. The reason is a value; it is
+// rendered to text only if a deadlock report is built.
+func (p *Proc) park(reason ParkReason) {
 	if p.e.cur != p {
 		panic("sim: park called from outside the running process")
 	}
@@ -115,13 +120,14 @@ func (p *Proc) park(reason string) {
 }
 
 // Sleep advances the process by d of virtual time. It models computation or
-// idling; other processes run during the sleep.
+// idling; other processes run during the sleep. The wake-up is a typed
+// event and the park reason is a value, so sleeping allocates nothing.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.e.After(d, func() { p.e.resume(p) })
-	p.park(fmt.Sprintf("sleeping %v", d))
+	p.e.wakeAt(p.e.now+d, p)
+	p.park(ParkReason{Kind: WaitSleep, A: int64(d)})
 }
 
 // Compute is an alias for Sleep that documents intent: the process is

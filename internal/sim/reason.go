@@ -1,0 +1,59 @@
+package sim
+
+import "fmt"
+
+// WaitKind enumerates why a process is parked. Hot paths construct a
+// ParkReason value from a kind and integer operands instead of formatting a
+// string: the text is rendered lazily, only when a deadlock report is
+// actually assembled.
+type WaitKind uint8
+
+const (
+	// WaitNone is the zero kind; it renders as a generic "waiting".
+	WaitNone WaitKind = iota
+	// WaitNotStarted marks a spawned process that has not yet run.
+	WaitNotStarted
+	// WaitSleep is a Proc.Sleep; A is the duration in nanoseconds.
+	WaitSleep
+	// WaitFuture is a generic Future.Wait with no more specific reason.
+	WaitFuture
+	// WaitRecv is a blocked message receive; A is the source rank, B the tag.
+	WaitRecv
+	// WaitSendDone is a blocked wait for local send completion.
+	WaitSendDone
+	// WaitCustom renders Str verbatim.
+	WaitCustom
+)
+
+// ParkReason describes why a process is blocked, cheaply: a kind plus
+// integer operands (and, for WaitCustom only, a string). It is passed and
+// stored by value, so parking allocates nothing.
+type ParkReason struct {
+	A, B int64
+	Str  string
+	Kind WaitKind
+}
+
+// Reason wraps a verbatim string as a ParkReason, for call sites where the
+// text is static (or where formatting cost does not matter).
+func Reason(s string) ParkReason { return ParkReason{Kind: WaitCustom, Str: s} }
+
+// String renders the reason for a deadlock report.
+func (r ParkReason) String() string {
+	switch r.Kind {
+	case WaitNotStarted:
+		return "not started"
+	case WaitSleep:
+		return "sleeping " + Time(r.A).String()
+	case WaitFuture:
+		return "waiting on future"
+	case WaitRecv:
+		return fmt.Sprintf("recv from %d tag %d", r.A, r.B)
+	case WaitSendDone:
+		return "send completion"
+	case WaitCustom:
+		return r.Str
+	default:
+		return "waiting"
+	}
+}

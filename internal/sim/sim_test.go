@@ -133,7 +133,7 @@ func TestFutureWakesWaiter(t *testing.T) {
 	var got any
 	var at Time
 	e.Spawn("waiter", func(p *Proc) {
-		v, err := f.Wait(p, "test wait")
+		v, err := f.Wait(p, Reason("test wait"))
 		if err != nil {
 			t.Errorf("unexpected err: %v", err)
 		}
@@ -154,7 +154,7 @@ func TestFutureCompletedBeforeWait(t *testing.T) {
 	f := e.NewFuture()
 	f.Complete(7, nil)
 	var got any
-	e.Spawn("waiter", func(p *Proc) { got, _ = f.Wait(p, "w") })
+	e.Spawn("waiter", func(p *Proc) { got, _ = f.Wait(p, Reason("w")) })
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestFutureDoubleCompletePanics(t *testing.T) {
 func TestDeadlockDetection(t *testing.T) {
 	e := New()
 	f := e.NewFuture()
-	e.Spawn("stuck", func(p *Proc) { f.Wait(p, "waiting forever") })
+	e.Spawn("stuck", func(p *Proc) { f.Wait(p, Reason("waiting forever")) })
 	err := e.Run()
 	de, ok := err.(*DeadlockError)
 	if !ok {
@@ -273,7 +273,7 @@ func TestKilledWaiterDoesNotWake(t *testing.T) {
 	f := e.NewFuture()
 	resumed := false
 	p := e.Spawn("waiter", func(p *Proc) {
-		f.Wait(p, "w")
+		f.Wait(p, Reason("w"))
 		resumed = true
 	})
 	e.At(10, func() { e.Kill(p) })

@@ -106,9 +106,11 @@ func (n *Node) ID() int { return n.id }
 func (n *Node) BytesSent() int64 { return n.txByte }
 
 // Transfer is a handle on an in-flight message, used to model message loss
-// when the sender crashes before the NIC finishes transmitting.
+// when the sender crashes before the NIC finishes transmitting. Callers on
+// the hot path embed a Transfer by value in their own per-message record
+// and start it with SendInto, so a send allocates no Transfer of its own.
 type Transfer struct {
-	ev     *sim.Event
+	ev     sim.EventRef
 	txDone sim.Time
 	bytes  int64
 
@@ -197,6 +199,26 @@ func (n *Network) NodeOf(proc int) int { return proc / n.cfg.CoresPerNode }
 // returned Transfer reports the sender-side completion time and allows the
 // message to be dropped if the sender crashes before TxDone.
 func (n *Network) Send(from, to int, bytes int64, deliver func()) *Transfer {
+	tr := &Transfer{}
+	arrival := n.reserve(tr, from, to, bytes)
+	tr.ev = n.e.At(arrival, deliver)
+	return tr
+}
+
+// SendInto is the allocation-light Send: it fills the caller-owned tr
+// (typically embedded in the caller's per-message record) and schedules tm
+// as the delivery callback, so a send costs neither a Transfer allocation
+// nor a closure. tr is fully reinitialized; reusing one Transfer for
+// consecutive sends is fine once the previous transfer has been delivered
+// or canceled.
+func (n *Network) SendInto(tr *Transfer, from, to int, bytes int64, tm sim.Timer) {
+	arrival := n.reserve(tr, from, to, bytes)
+	tr.ev = n.e.AtTimer(arrival, tm)
+}
+
+// reserve books the NIC occupancy on both ends and fills every Transfer
+// field except the delivery event; it returns the arrival time.
+func (n *Network) reserve(tr *Transfer, from, to int, bytes int64) sim.Time {
 	if from < 0 || from >= len(n.nodes) || to < 0 || to >= len(n.nodes) {
 		panic(fmt.Sprintf("simnet: bad endpoint %d->%d (%d nodes)", from, to, len(n.nodes)))
 	}
@@ -207,8 +229,8 @@ func (n *Network) Send(from, to int, bytes int64, deliver func()) *Transfer {
 	if from == to {
 		occ := sim.Seconds(float64(bytes) / n.cfg.LocalBandwidth)
 		txDone := now + occ
-		arrival := txDone + n.cfg.LocalLatency
-		return &Transfer{ev: n.e.At(arrival, deliver), txDone: txDone, bytes: bytes}
+		*tr = Transfer{txDone: txDone, bytes: bytes}
+		return txDone + n.cfg.LocalLatency
 	}
 	src, dst := n.nodes[from], n.nodes[to]
 	occ := sim.Seconds(float64(bytes) / n.cfg.Bandwidth)
@@ -226,8 +248,9 @@ func (n *Network) Send(from, to int, bytes int64, deliver func()) *Transfer {
 	}
 	arrival := rxStart + occ
 	dst.rxFree = arrival
-	return &Transfer{
-		ev: n.e.At(arrival, deliver), txDone: txDone, bytes: bytes,
+	*tr = Transfer{
+		txDone: txDone, bytes: bytes,
 		dst: dst, prevRx: prevRx, arrival: arrival, rxOcc: occ,
 	}
+	return arrival
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/sim"
+	"repro/internal/testutil"
 )
 
 func testCfg() Config {
@@ -241,5 +242,98 @@ func TestTransferTimingProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// deliveryRecorder is a sim.Timer recording its fire time.
+type deliveryRecorder struct {
+	e  *sim.Engine
+	at sim.Time
+}
+
+func (d *deliveryRecorder) Fire() { d.at = d.e.Now() }
+
+// TestSendIntoMatchesSend pins the allocation-light path to the closure
+// path: same reservations, same timing, same cancel semantics.
+func TestSendIntoMatchesSend(t *testing.T) {
+	e1 := sim.New()
+	n1 := New(e1, testCfg(), 3)
+	var closureArrivals []sim.Time
+	var closureTx []sim.Time
+	for i := 0; i < 4; i++ {
+		tr := n1.Send(0, 2, 1000*int64(i+1), func() { closureArrivals = append(closureArrivals, e1.Now()) })
+		closureTx = append(closureTx, tr.TxDone())
+	}
+	if err := e1.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := sim.New()
+	n2 := New(e2, testCfg(), 3)
+	recs := make([]deliveryRecorder, 4)
+	trs := make([]Transfer, 4)
+	for i := range recs {
+		recs[i].e = e2
+		n2.SendInto(&trs[i], 0, 2, 1000*int64(i+1), &recs[i])
+	}
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if recs[i].at != closureArrivals[i] {
+			t.Fatalf("SendInto arrival[%d] = %v, Send = %v", i, recs[i].at, closureArrivals[i])
+		}
+		if trs[i].TxDone() != closureTx[i] {
+			t.Fatalf("SendInto txDone[%d] = %v, Send = %v", i, trs[i].TxDone(), closureTx[i])
+		}
+	}
+}
+
+// TestSendIntoCancelRollsBack checks the embedded-Transfer path shares the
+// receiver-NIC rollback with the closure path.
+func TestSendIntoCancelRollsBack(t *testing.T) {
+	e := sim.New()
+	n := New(e, testCfg(), 3)
+	var tr Transfer
+	rec := deliveryRecorder{e: e, at: -1}
+	n.SendInto(&tr, 0, 2, 1_000_000, &rec)
+	var arrived sim.Time
+	e.At(500, func() {
+		tr.Cancel()
+		n.Send(1, 2, 1000, func() { arrived = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.at != -1 {
+		t.Fatal("canceled SendInto transfer delivered")
+	}
+	if want := sim.Time(2500); arrived != want {
+		t.Fatalf("arrival after cancel = %v, want %v", arrived, want)
+	}
+}
+
+// TestTransferAllocs pins the allocation-light hot path: a steady-state
+// transfer through SendInto (reused Transfer record, typed delivery, pooled
+// events) must not allocate.
+func TestTransferAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	e := sim.New()
+	n := New(e, testCfg(), 2)
+	rec := deliveryRecorder{e: e}
+	var tr Transfer
+	const rounds = 1000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < rounds; i++ {
+			n.SendInto(&tr, 0, 1, 1000, &rec)
+			if err := e.Run(); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if avg > 5 {
+		t.Fatalf("%d steady-state transfers allocated %.0f objects, budget 5", rounds, avg)
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by the package test suites.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-budget tests skip under race: the instrumentation itself
+// allocates, so the budgets would measure the detector, not the code.
+const RaceEnabled = false
