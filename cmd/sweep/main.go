@@ -52,6 +52,23 @@
 // machine models. Identical points inside one sweep are simulated once
 // (content-keyed memo); results keep the grid order regardless of the
 // worker count, so output is byte-identical to a -workers 1 run.
+//
+// The persistent result store extends that memo across processes: -store
+// DIR backs the run with a content-addressed on-disk cache (points already
+// present are served without simulating; fresh ones are appended), -shard
+// i/N turns the run into one shard of a multi-process campaign (it
+// simulates and persists only the unique points with index ≡ i mod N,
+// reporting a populate summary instead of results), and the merge
+// subcommand re-runs the same grid against the merged store — every point
+// a cache hit, so the output is byte-identical to a single-process run —
+// then verifies any stored campaign aggregates, compacts the store to one
+// canonical file and reports hits/misses on stderr (a warm run shows
+// misses=0):
+//
+//	sweep -spec scenarios/smoke.json -json -store results -shard 0/3
+//	sweep -spec scenarios/smoke.json -json -store results -shard 1/3
+//	sweep -spec scenarios/smoke.json -json -store results -shard 2/3
+//	sweep merge -spec scenarios/smoke.json -json -store results
 package main
 
 import (
@@ -70,9 +87,27 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/store"
 )
 
+// storeCtx carries the persistent-store wiring through the run paths: the
+// open store (nil = none), the shard this process populates (inactive =
+// run everything), and whether this is the merge pass.
+type storeCtx struct {
+	st    *store.Store
+	shard store.Shard
+	merge bool
+}
+
 func main() {
+	// The merge subcommand reuses the whole flag grammar: strip it before
+	// parsing and remember the mode.
+	args := os.Args[1:]
+	mergeMode := len(args) > 0 && args[0] == "merge"
+	if mergeMode {
+		args = args[1:]
+	}
+
 	figures := flag.String("figures", "", "comma-separated figure ids, or 'all' (figure mode)")
 	app := flag.String("app", "", "comma-separated application grid (grid mode; see -list)")
 	modesFlag := flag.String("modes", "native,classic,intra", "grid: comma-separated modes")
@@ -96,7 +131,9 @@ func main() {
 	ckptRestart := flag.Float64("ckpt-restart", 0, "campaign: restart cost in seconds, analytic and measured ccr (0 = ckpt-delta)")
 	ckptTau := flag.Float64("ckpt-tau", 0, "campaign: ccr checkpoint interval in seconds (0 = Daly's optimal interval per point)")
 	ft := flag.String("ft", "replication", "campaign: fault-tolerance sides to measure — 'replication' (the -modes grid) or 'ccr' (adds a measured checkpoint/restart series at the native budget next to it)")
-	flag.Parse()
+	storeDir := flag.String("store", "", "back the run with a persistent result store in this directory (content-addressed cache; see the package docs)")
+	shardFlag := flag.String("shard", "", "with -store: populate only shard i/N of the run (e.g. 0/3) and report a summary instead of results")
+	flag.CommandLine.Parse(args)
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	if *workers > 0 {
@@ -132,6 +169,43 @@ func main() {
 		CkptDelta: *ckptDelta, CkptRestart: *ckptRestart, CkptTau: *ckptTau,
 	}
 
+	sctx := storeCtx{merge: mergeMode}
+	if mergeMode && *storeDir == "" {
+		fail("merge needs a -store directory")
+	}
+	if *shardFlag != "" {
+		if mergeMode {
+			fail("merge runs the whole grid; -shard only applies to populate runs")
+		}
+		if *storeDir == "" {
+			fail("-shard needs a -store directory")
+		}
+		sh, err := store.ParseShard(*shardFlag)
+		if err != nil {
+			fail("%v", err)
+		}
+		sctx.shard = sh
+	}
+	if *storeDir != "" {
+		if *figures != "" {
+			fail("-store does not apply to -figures mode (run the figure through a -spec file)")
+		}
+		if *validate {
+			fail("-store conflicts with -validate: nothing runs")
+		}
+		label := "run"
+		if sctx.shard.Active() {
+			label = sctx.shard.String()
+		} else if mergeMode {
+			label = "merge"
+		}
+		st, err := store.Open(*storeDir, label)
+		if err != nil {
+			fail("%v", err)
+		}
+		sctx.st = st
+	}
+
 	switch {
 	case *validate && *specFile == "":
 		fail("-validate needs a -spec file")
@@ -152,11 +226,11 @@ func main() {
 		}
 		switch *modeFlag {
 		case "":
-			if err := runSpecFile(os.Stdout, f, *workers, *jsonOut); err != nil {
+			if err := runSpecFile(os.Stdout, f, *workers, *jsonOut, sctx); err != nil {
 				fail("%v", err)
 			}
 		case "campaign":
-			if err := runCampaignSpec(os.Stdout, f, ccfg, *jsonOut); err != nil {
+			if err := runCampaignSpec(os.Stdout, f, ccfg, *jsonOut, sctx); err != nil {
 				fail("%v", err)
 			}
 		default:
@@ -178,7 +252,7 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		if err := runCampaign(os.Stdout, ccfg, scs, *netName, *machineName, *jsonOut); err != nil {
+		if err := runCampaign(os.Stdout, ccfg, scs, *netName, *machineName, *jsonOut, sctx); err != nil {
 			fail("%v", err)
 		}
 	case *modeFlag != "":
@@ -198,11 +272,25 @@ func main() {
 		runFigures(*figures, procsOverride, *iters, *jsonOut)
 	case *app != "":
 		g := gridFromFlags(*app, *modesFlag, *procsFlag, *degreesFlag, *iters, *tasks, *netName, *machineName)
-		if err := runGrid(os.Stdout, g, *workers, *jsonOut); err != nil {
+		if err := runGrid(os.Stdout, g, *workers, *jsonOut, sctx); err != nil {
 			fail("%v", err)
 		}
 	default:
 		fail("nothing to do: pass -figures, -app or -spec (see -h and -list)")
+	}
+
+	if sctx.st != nil {
+		if mergeMode {
+			// The merge pass leaves one canonical sorted shard behind.
+			if err := sctx.st.Compact(); err != nil {
+				fail("%v", err)
+			}
+		}
+		stats := sctx.st.Stats()
+		if err := sctx.st.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: store %s: %s\n", *storeDir, stats.String())
 	}
 }
 
@@ -334,19 +422,47 @@ func gridFromFlags(apps, modesFlag, procsFlag, degreesFlag string, iters, tasks 
 // grid contains one. Scenario files carrying a grid go through the very
 // same path, so flag-built and file-built grids produce byte-identical
 // output.
-func runGrid(w io.Writer, g scenario.Grid, workers int, jsonOut bool) error {
+func runGrid(w io.Writer, g scenario.Grid, workers int, jsonOut bool, sctx storeCtx) error {
 	scs, err := g.Expand()
 	if err != nil {
 		return err
 	}
-	return runScenarios(w, "sweep", strings.Join(g.Apps, ","), scs, workers, jsonOut)
+	return runScenarios(w, "sweep", strings.Join(g.Apps, ","), scs, workers, jsonOut, sctx)
+}
+
+// populateScenarios runs one shard's slice of a plain sweep: only the
+// owned unique points are simulated and persisted, and the report is a
+// populate summary instead of results — a later merge run over the warm
+// store emits those, byte-identical to a single-process sweep.
+func populateScenarios(w io.Writer, sctx storeCtx, scs []scenario.Scenario, workers int, jsonOut bool) error {
+	specs, err := experiments.SpecsFor(scs)
+	if err != nil {
+		return err
+	}
+	_, _, stats, err := experiments.PopulateStore(workers, sctx.st, sctx.shard, specs)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		emitJSON(w, struct {
+			Shard string `json:"shard"`
+			experiments.PopulateStats
+		}{sctx.shard.String(), stats})
+		return nil
+	}
+	fmt.Fprintf(w, "shard %s: %d specs, %d unique, %d owned, %d simulated, %d store hits, %d unkeyed\n",
+		sctx.shard, stats.Specs, stats.Unique, stats.Owned, stats.Simulated, stats.Hits, stats.Unkeyed)
+	return nil
 }
 
 // runScenarios sweeps any scenario list and reports it under the one
 // {net, machine, results} envelope, with platform labels derived from the
 // scenarios themselves.
-func runScenarios(w io.Writer, id, label string, scs []scenario.Scenario, workers int, jsonOut bool) error {
-	results, err := experiments.SweepScenarios(workers, scs)
+func runScenarios(w io.Writer, id, label string, scs []scenario.Scenario, workers int, jsonOut bool, sctx storeCtx) error {
+	if sctx.shard.Active() {
+		return populateScenarios(w, sctx, scs, workers, jsonOut)
+	}
+	results, err := experiments.SweepScenariosStore(workers, sctx.st, scs)
 	if err != nil {
 		return err
 	}
@@ -421,13 +537,16 @@ func scenarioTable(id, title string, scs []scenario.Scenario, results []experime
 // runSpecFile runs a loaded scenario file: a figure reproduction when the
 // file binds one, the shared grid path for pure grid files, and a generic
 // scenario sweep otherwise.
-func runSpecFile(w io.Writer, f *scenario.File, workers int, jsonOut bool) error {
+func runSpecFile(w io.Writer, f *scenario.File, workers int, jsonOut bool, sctx storeCtx) error {
 	if f.Figure != "" {
 		scs, err := f.Expand()
 		if err != nil {
 			return err
 		}
-		res, err := experiments.SweepScenarios(workers, scs)
+		if sctx.shard.Active() {
+			return populateScenarios(w, sctx, scs, workers, jsonOut)
+		}
+		res, err := experiments.SweepScenariosStore(workers, sctx.st, scs)
 		if err != nil {
 			return err
 		}
@@ -443,7 +562,7 @@ func runSpecFile(w io.Writer, f *scenario.File, workers int, jsonOut bool) error
 		return nil
 	}
 	if f.Grid != nil && len(f.Scenarios) == 0 {
-		return runGrid(w, *f.Grid, workers, jsonOut)
+		return runGrid(w, *f.Grid, workers, jsonOut, sctx)
 	}
 	scs, err := f.Expand()
 	if err != nil {
@@ -453,7 +572,7 @@ func runSpecFile(w io.Writer, f *scenario.File, workers int, jsonOut bool) error
 	if label == "" {
 		label = "scenario file"
 	}
-	return runScenarios(w, "spec", label, scs, workers, jsonOut)
+	return runScenarios(w, "spec", label, scs, workers, jsonOut, sctx)
 }
 
 // campaignGrid builds the campaign scenario grid from the grid flags and
@@ -540,12 +659,41 @@ func campaignGrid(apps, modesFlag, procsFlag, degreesFlag string, iters, tasks i
 	return out, nil
 }
 
-// runCampaign executes the campaign grid and reports the aggregates.
+// runCampaign executes the campaign grid and reports the aggregates. With
+// an active shard it runs campaign.Populate instead — only the owned
+// trials are simulated, and mergeable per-scenario aggregates land in the
+// store. The merge pass cross-checks every complete stored shard scheme
+// against the pooled statistics before reporting.
 func runCampaign(w io.Writer, cfg campaign.Config, scs []campaign.Scenario,
-	netLabel, machineLabel string, jsonOut bool) error {
+	netLabel, machineLabel string, jsonOut bool, sctx storeCtx) error {
+	cfg.Store = sctx.st
+	if sctx.shard.Active() {
+		stats, err := campaign.Populate(cfg, scs, sctx.shard)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			emitJSON(w, struct {
+				Shard string `json:"shard"`
+				campaign.PopulateStats
+			}{sctx.shard.String(), stats})
+			return nil
+		}
+		fmt.Fprintf(w, "shard %s: %d scenarios × %d trials; sweep: %d unique, %d owned, %d simulated, %d store hits; %d ccr replays; %d aggregate records\n",
+			sctx.shard, stats.Scenarios, stats.Trials, stats.Sweep.Unique, stats.Sweep.Owned,
+			stats.Sweep.Simulated, stats.Sweep.Hits, stats.CCRReplays, stats.AggRecords)
+		return nil
+	}
 	res, err := campaign.Run(cfg, scs)
 	if err != nil {
 		return err
+	}
+	if sctx.merge {
+		verified, err := campaign.VerifyStoredAggregates(cfg, scs, res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep: campaign aggregates verified across %d shard scheme(s)\n", verified)
 	}
 	if jsonOut {
 		emitJSON(w, struct {
@@ -561,7 +709,7 @@ func runCampaign(w io.Writer, cfg campaign.Config, scs []campaign.Scenario,
 
 // runCampaignSpec runs a scenario file whose points carry MTBF fault
 // models as a campaign.
-func runCampaignSpec(w io.Writer, f *scenario.File, cfg campaign.Config, jsonOut bool) error {
+func runCampaignSpec(w io.Writer, f *scenario.File, cfg campaign.Config, jsonOut bool, sctx storeCtx) error {
 	scs, err := f.Expand()
 	if err != nil {
 		return err
@@ -574,7 +722,7 @@ func runCampaignSpec(w io.Writer, f *scenario.File, cfg campaign.Config, jsonOut
 		}
 	}
 	netLabel, machineLabel := scenario.PlatformLabels(scs)
-	return runCampaign(w, cfg, camp, netLabel, machineLabel, jsonOut)
+	return runCampaign(w, cfg, camp, netLabel, machineLabel, jsonOut, sctx)
 }
 
 func emitJSON(w io.Writer, v any) {

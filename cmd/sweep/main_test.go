@@ -17,7 +17,7 @@ func TestFlagGridAndSpecFileEquivalent(t *testing.T) {
 	// -json` builds.
 	g := gridFromFlags("hpccg", "native,classic,intra", "8", "2", 3, 0, "ib20g", "grid5000")
 	var fromFlags bytes.Buffer
-	if err := runGrid(&fromFlags, g, 1, true); err != nil {
+	if err := runGrid(&fromFlags, g, 1, true, storeCtx{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -27,7 +27,7 @@ func TestFlagGridAndSpecFileEquivalent(t *testing.T) {
 		t.Fatal(err)
 	}
 	var fromFile bytes.Buffer
-	if err := runSpecFile(&fromFile, f, 1, true); err != nil {
+	if err := runSpecFile(&fromFile, f, 1, true, storeCtx{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -60,10 +60,10 @@ func TestSpecFileWorkerIndependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	var serial, parallel bytes.Buffer
-	if err := runSpecFile(&serial, f, 1, true); err != nil {
+	if err := runSpecFile(&serial, f, 1, true, storeCtx{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSpecFile(&parallel, f, 8, true); err != nil {
+	if err := runSpecFile(&parallel, f, 8, true, storeCtx{}); err != nil {
 		t.Fatal(err)
 	}
 	if zeroElapsed(t, serial.String()) != zeroElapsed(t, parallel.String()) {
@@ -84,7 +84,7 @@ func TestCampaignCCRSpecWorkerIndependence(t *testing.T) {
 	run := func(workers int) string {
 		cfg := campaign.Config{Trials: 3, Seed: 9, Workers: workers}
 		var buf bytes.Buffer
-		if err := runCampaignSpec(&buf, f, cfg, true); err != nil {
+		if err := runCampaignSpec(&buf, f, cfg, true, storeCtx{}); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()

@@ -40,6 +40,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Scenario is one point of the campaign grid: a canonical scenario under a
@@ -164,6 +165,14 @@ type Config struct {
 	CkptDelta   float64
 	CkptRestart float64
 	CkptTau     float64
+
+	// Store, when non-nil, backs every simulation with the persistent
+	// result cache: references and replicated trials already present are
+	// served without simulating, fresh ones are appended, and the
+	// campaign's per-scenario aggregates are persisted as mergeable
+	// count/sum/sumsq records (see Populate for the sharded producer).
+	// The aggregate output is byte-identical with or without a store.
+	Store *store.Store
 }
 
 // ckptParams resolves the cCR machine parameters of one scenario from the
@@ -239,29 +248,6 @@ func (s *Stat) UnmarshalJSON(b []byte) error {
 		s.CI95 = *w.CI95
 	}
 	return nil
-}
-
-func newStat(xs []float64) Stat {
-	if len(xs) == 0 {
-		return Stat{CI95: math.NaN()}
-	}
-	s := Stat{Min: xs[0], Max: xs[0], CI95: math.NaN()}
-	for _, x := range xs {
-		s.Mean += x
-		s.Min = math.Min(s.Min, x)
-		s.Max = math.Max(s.Max, x)
-	}
-	s.Mean /= float64(len(xs))
-	if len(xs) > 1 {
-		var ss float64
-		for _, x := range xs {
-			d := x - s.Mean
-			ss += d * d
-		}
-		s.Std = math.Sqrt(ss / float64(len(xs)-1))
-		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(len(xs)))
-	}
-	return s
 }
 
 // CrashStats counts the injected failures of a scenario's trials.
@@ -379,108 +365,21 @@ type Result struct {
 // points — all fanned out over the worker count, then the deterministic
 // aggregation including the measured crossovers.
 func Run(cfg Config, scenarios []Scenario) (*Result, error) {
-	trials := cfg.Trials
-	if trials <= 0 {
-		trials = 100
+	trials, base, templates, err := planReferences(cfg, scenarios)
+	if err != nil {
+		return nil, err
 	}
-	if len(scenarios) == 0 {
-		return nil, fmt.Errorf("campaign: no scenarios")
-	}
-	if cfg.CkptDelta < 0 || cfg.CkptRestart < 0 || cfg.CkptTau < 0 {
-		return nil, fmt.Errorf("campaign: negative checkpoint parameter")
-	}
-	for _, sc := range scenarios {
-		if !sc.Point.Mode.Replicated() && sc.Point.Mode != scenario.CCR {
-			return nil, fmt.Errorf("campaign: scenario %q: mode %s has no failures to survive (use classic, intra or ccr)",
-				sc.Point.Name, sc.Point.Mode)
-		}
-		if sc.MTBF <= 0 {
-			return nil, fmt.Errorf("campaign: scenario %q: MTBF must be positive", sc.Point.Name)
-		}
-		if f := sc.Point.Fault; f != nil && (f.MTBFSeconds > 0 || len(f.Crashes) > 0) {
-			return nil, fmt.Errorf("campaign: scenario %q: carry the fault model in Scenario.MTBF, not the point", sc.Point.Name)
-		}
-	}
-
-	// Phase 1: fault-free references. Spec order fixes result order. The
-	// point's spec doubles as the trial template of phase 2, so every
-	// scenario is validated and decoded exactly once.
-	base := make([]experiments.Spec, 0, 2*len(scenarios))
-	templates := make([]experiments.Spec, len(scenarios))
-	for i, sc := range scenarios {
-		native, err := experiments.SpecFor(sc.nativeScenario())
-		if err != nil {
-			return nil, fmt.Errorf("campaign: %w", err)
-		}
-		ff, err := experiments.SpecFor(sc.Point)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: %w", err)
-		}
-		templates[i] = ff
-		ff.Name = sc.Point.Name + "/fault-free"
-		base = append(base, native, ff)
-	}
-	baseRes, err := experiments.SweepN(cfg.Workers, base)
+	baseRes, err := experiments.SweepStore(cfg.Workers, cfg.Store, base)
 	if err != nil {
 		return nil, fmt.Errorf("campaign references: %w", err)
 	}
-
-	// Phase 2a: replicated trials. Draw and run them, one Spec each, all
-	// scenarios in a single sweep so the pool stays saturated across the
-	// whole grid. trialAt maps a scenario to its slice of the spec list
-	// (-1 for ccr scenarios, whose trials never enter the simulator).
-	var specs []experiments.Spec
-	draws := make([][]fault.Draw, len(scenarios))
-	trialAt := make([]int, len(scenarios))
-	// Horizon resolution happens exactly once per scenario: the draws and
-	// the reported HorizonSeconds must describe the same window. An
-	// explicitly configured horizon is a hard cap on the failure window
-	// for every fault-tolerance side; only the defaulted ccr window grows
-	// with the makespan.
-	horizons := make([]sim.Time, len(scenarios))
-	grow := make([]bool, len(scenarios))
-	params := make([]ckptsim.Params, len(scenarios))
-	for i, sc := range scenarios {
-		horizon := sc.Horizon
-		if horizon == 0 {
-			horizon = cfg.Horizon
-		}
-		if sc.Point.Mode == scenario.CCR {
-			trialAt[i] = -1
-			w := baseRes[2*i].Measure.Wall.Seconds()
-			params[i] = cfg.ckptParams(sc, w, sc.MTBF.Seconds()/float64(sc.Point.Logical))
-			if err := params[i].Validate(); err != nil {
-				return nil, fmt.Errorf("campaign: scenario %q: %w", sc.Point.Name, err)
-			}
-			if horizon == 0 {
-				// The base draw window is the zero-failure ccr makespan; the
-				// replay loop grows it per trial until it covers the
-				// failure-stretched run. An explicit horizon stays a cap —
-				// the same meaning it has for replicated draws — so the two
-				// sides of one table never see different failure windows.
-				horizon = sim.Seconds(params[i].FaultFreeMakespan(w))
-				grow[i] = true
-			}
-			horizons[i] = horizon
-			continue
-		}
-		if horizon == 0 {
-			horizon = baseRes[2*i+1].Measure.Wall
-		}
-		horizons[i] = horizon
-		trialAt[i] = len(specs)
-		draws[i] = make([]fault.Draw, trials)
-		for t := 0; t < trials; t++ {
-			d := fault.ExponentialDraw(sc.Point.Logical, sc.Point.EffectiveDegree(), sc.MTBF, horizons[i],
-				fault.TrialSeed(cfg.Seed, i, t))
-			draws[i][t] = d
-			spec := templates[i]
-			spec.Name = fmt.Sprintf("%s/t%03d", sc.Point.Name, t)
-			spec.Fault = d.Schedule
-			specs = append(specs, spec)
-		}
+	plan, err := armTrials(cfg, scenarios, trials, templates, baseRes)
+	if err != nil {
+		return nil, err
 	}
-	trialRes, err := experiments.SweepN(cfg.Workers, specs)
+	specs, draws, trialAt := plan.specs, plan.draws, plan.trialAt
+	horizons, grow, params := plan.horizons, plan.grow, plan.params
+	trialRes, err := experiments.SweepStore(cfg.Workers, cfg.Store, specs)
 	if err != nil {
 		return nil, fmt.Errorf("campaign trials: %w", err)
 	}
@@ -492,6 +391,7 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 
 	// Phase 3: aggregate per scenario, in grid order.
 	out := &Result{Seed: cfg.Seed, Trials: trials}
+	aggs := make([][3]Agg, len(scenarios))
 	for i, sc := range scenarios {
 		native, ff := baseRes[2*i], baseRes[2*i+1]
 		mtbfS := sc.MTBF.Seconds()
@@ -576,6 +476,7 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 			slowdowns[t] = walls[t] / ffWall
 			effs[t] = ffEff / slowdowns[t]
 		}
+		aggs[i] = [3]Agg{newAgg(walls), newAgg(slowdowns), newAgg(effs)}
 		out.Scenarios = append(out.Scenarios, ScenarioResult{
 			Name: sc.Point.Name, App: sc.Point.App, Mode: sc.Point.Mode.String(),
 			Logical: sc.Point.Logical, Degree: sc.Point.EffectiveDegree(), PhysProcs: phys,
@@ -584,16 +485,139 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 			FaultFreeWallSeconds: ffWall,
 			NativeWallSeconds:    native.Measure.Wall.Seconds(),
 			FaultFreeEfficiency:  ffEff,
-			Makespan:             newStat(walls),
-			Slowdown:             newStat(slowdowns),
-			Efficiency:           newStat(effs),
+			Makespan:             aggs[i][0].Stat(),
+			Slowdown:             aggs[i][1].Stat(),
+			Efficiency:           aggs[i][2].Stat(),
 			Crashes:              cs,
 			MemoHits:             memoHits,
 			Analytic:             analytic,
 		})
 	}
 	out.Crossovers = crossovers(scenarios, out.Scenarios)
+	// A store-backed run persists its (whole-campaign) aggregates, so a
+	// later merge can cross-check them against any sharded scheme's.
+	if cfg.Store != nil {
+		if err := persistAggregates(cfg.Store, store.Shard{}, cfg, trials, scenarios, aggs); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
+}
+
+// planReferences validates the campaign and lays out phase 1: the
+// fault-free reference specs (native + scenario-mode per scenario, spec
+// order fixing result order) and the per-scenario trial templates.
+func planReferences(cfg Config, scenarios []Scenario) (trials int, base, templates []experiments.Spec, err error) {
+	trials = cfg.Trials
+	if trials <= 0 {
+		trials = 100
+	}
+	if len(scenarios) == 0 {
+		return 0, nil, nil, fmt.Errorf("campaign: no scenarios")
+	}
+	if cfg.CkptDelta < 0 || cfg.CkptRestart < 0 || cfg.CkptTau < 0 {
+		return 0, nil, nil, fmt.Errorf("campaign: negative checkpoint parameter")
+	}
+	for _, sc := range scenarios {
+		if !sc.Point.Mode.Replicated() && sc.Point.Mode != scenario.CCR {
+			return 0, nil, nil, fmt.Errorf("campaign: scenario %q: mode %s has no failures to survive (use classic, intra or ccr)",
+				sc.Point.Name, sc.Point.Mode)
+		}
+		if sc.MTBF <= 0 {
+			return 0, nil, nil, fmt.Errorf("campaign: scenario %q: MTBF must be positive", sc.Point.Name)
+		}
+		if f := sc.Point.Fault; f != nil && (f.MTBFSeconds > 0 || len(f.Crashes) > 0) {
+			return 0, nil, nil, fmt.Errorf("campaign: scenario %q: carry the fault model in Scenario.MTBF, not the point", sc.Point.Name)
+		}
+	}
+	base = make([]experiments.Spec, 0, 2*len(scenarios))
+	templates = make([]experiments.Spec, len(scenarios))
+	for i, sc := range scenarios {
+		native, err := experiments.SpecFor(sc.nativeScenario())
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("campaign: %w", err)
+		}
+		ff, err := experiments.SpecFor(sc.Point)
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("campaign: %w", err)
+		}
+		templates[i] = ff
+		ff.Name = sc.Point.Name + "/fault-free"
+		base = append(base, native, ff)
+	}
+	return trials, base, templates, nil
+}
+
+// trialPlan is phase 2a laid out: every replicated trial as a spec, the
+// draws behind them, and the per-scenario failure windows and cCR machine
+// parameters. Deterministic in (cfg, scenarios, baseRes), so every shard
+// of a campaign derives the identical plan.
+type trialPlan struct {
+	specs   []experiments.Spec
+	draws   [][]fault.Draw
+	trialAt []int // scenario -> first spec index (-1 for ccr scenarios)
+	// Horizon resolution happens exactly once per scenario: the draws and
+	// the reported HorizonSeconds must describe the same window. An
+	// explicitly configured horizon is a hard cap on the failure window
+	// for every fault-tolerance side; only the defaulted ccr window grows
+	// with the makespan.
+	horizons []sim.Time
+	grow     []bool
+	params   []ckptsim.Params
+}
+
+// armTrials draws and lays out every trial of the campaign: one Spec per
+// replicated trial, all scenarios in a single sweep so the pool stays
+// saturated across the whole grid.
+func armTrials(cfg Config, scenarios []Scenario, trials int, templates []experiments.Spec, baseRes []experiments.Result) (*trialPlan, error) {
+	p := &trialPlan{
+		draws:    make([][]fault.Draw, len(scenarios)),
+		trialAt:  make([]int, len(scenarios)),
+		horizons: make([]sim.Time, len(scenarios)),
+		grow:     make([]bool, len(scenarios)),
+		params:   make([]ckptsim.Params, len(scenarios)),
+	}
+	for i, sc := range scenarios {
+		horizon := sc.Horizon
+		if horizon == 0 {
+			horizon = cfg.Horizon
+		}
+		if sc.Point.Mode == scenario.CCR {
+			p.trialAt[i] = -1
+			w := baseRes[2*i].Measure.Wall.Seconds()
+			p.params[i] = cfg.ckptParams(sc, w, sc.MTBF.Seconds()/float64(sc.Point.Logical))
+			if err := p.params[i].Validate(); err != nil {
+				return nil, fmt.Errorf("campaign: scenario %q: %w", sc.Point.Name, err)
+			}
+			if horizon == 0 {
+				// The base draw window is the zero-failure ccr makespan; the
+				// replay loop grows it per trial until it covers the
+				// failure-stretched run. An explicit horizon stays a cap —
+				// the same meaning it has for replicated draws — so the two
+				// sides of one table never see different failure windows.
+				horizon = sim.Seconds(p.params[i].FaultFreeMakespan(w))
+				p.grow[i] = true
+			}
+			p.horizons[i] = horizon
+			continue
+		}
+		if horizon == 0 {
+			horizon = baseRes[2*i+1].Measure.Wall
+		}
+		p.horizons[i] = horizon
+		p.trialAt[i] = len(p.specs)
+		p.draws[i] = make([]fault.Draw, trials)
+		for t := 0; t < trials; t++ {
+			d := fault.ExponentialDraw(sc.Point.Logical, sc.Point.EffectiveDegree(), sc.MTBF, p.horizons[i],
+				fault.TrialSeed(cfg.Seed, i, t))
+			p.draws[i][t] = d
+			spec := templates[i]
+			spec.Name = fmt.Sprintf("%s/t%03d", sc.Point.Name, t)
+			spec.Fault = d.Schedule
+			p.specs = append(p.specs, spec)
+		}
+	}
+	return p, nil
 }
 
 // maxHorizonDoublings bounds the ccr draw-window growth; past it the

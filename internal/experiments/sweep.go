@@ -19,6 +19,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/store"
 )
 
 // App is one benchmark application bound to a concrete configuration,
@@ -173,6 +174,21 @@ func SpecFor(sc scenario.Scenario) (Spec, error) {
 // SweepScenarios validates and runs a scenario list through the sweep
 // pool, in order.
 func SweepScenarios(workers int, scs []scenario.Scenario) ([]Result, error) {
+	return SweepScenariosStore(workers, nil, scs)
+}
+
+// SweepScenariosStore is SweepScenarios backed by a persistent result
+// store (nil = in-memory only).
+func SweepScenariosStore(workers int, st *store.Store, scs []scenario.Scenario) ([]Result, error) {
+	specs, err := SpecsFor(scs)
+	if err != nil {
+		return nil, err
+	}
+	return SweepStore(workers, st, specs)
+}
+
+// SpecsFor converts a scenario list into sweep points, in order.
+func SpecsFor(scs []scenario.Scenario) ([]Spec, error) {
 	specs := make([]Spec, len(scs))
 	for i, sc := range scs {
 		spec, err := SpecFor(sc)
@@ -181,7 +197,7 @@ func SweepScenarios(workers int, scs []scenario.Scenario) ([]Result, error) {
 		}
 		specs[i] = spec
 	}
-	return SweepN(workers, specs)
+	return specs, nil
 }
 
 // KernelResult is the JSON view of one kernel's timing.
@@ -245,17 +261,23 @@ func Sweep(specs []Spec) ([]Result, error) { return SweepN(0, specs) }
 
 // SweepN is Sweep with an explicit worker count (0 = GOMAXPROCS).
 func SweepN(workers int, specs []Spec) ([]Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// Deduplicate up front: uniqOf maps each spec to the run that serves
-	// it. Doing this before dispatch (rather than racing a singleflight)
-	// keeps memo behavior independent of worker scheduling.
+	return SweepStore(workers, nil, specs)
+}
+
+// dedupe maps each spec to the unique run that serves it: uniq is the
+// distinct-simulation list, keys its memo fingerprints ("" = not
+// memoizable), and uniqOf[i] the index into uniq serving specs[i].
+// Deduplicating up front (rather than racing a singleflight) keeps memo
+// behavior independent of worker scheduling — and, because the keys are
+// content fingerprints, every process sweeping the same spec list derives
+// the identical uniq list, which is what lets shards partition it by
+// index with no coordination.
+func dedupe(specs []Spec) (uniq []Spec, keys []string, uniqOf []int) {
 	firstIdx := map[string]int{}
-	uniqOf := make([]int, len(specs))
-	var uniq []Spec
+	uniqOf = make([]int, len(specs))
 	for i, s := range specs {
-		if k := s.key(); k != "" {
+		k := s.key()
+		if k != "" {
 			if j, ok := firstIdx[k]; ok {
 				uniqOf[i] = j
 				continue
@@ -264,12 +286,18 @@ func SweepN(workers int, specs []Spec) ([]Result, error) {
 		}
 		uniqOf[i] = len(uniq)
 		uniq = append(uniq, s)
+		keys = append(keys, k)
 	}
+	return uniq, keys, uniqOf
+}
 
-	runs := make([]Result, len(uniq))
-	errs := make([]error, len(uniq))
-	if workers > len(uniq) {
-		workers = len(uniq)
+// forEachUnique runs fn(j) for j in [0, n) on a pool of workers.
+func forEachUnique(workers, n int, fn func(j int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
 	}
 	var next atomic.Int64
 	next.Store(-1)
@@ -280,14 +308,31 @@ func SweepN(workers int, specs []Spec) ([]Result, error) {
 			defer wg.Done()
 			for {
 				j := int(next.Add(1))
-				if j >= len(uniq) {
+				if j >= n {
 					return
 				}
-				runs[j], errs[j] = runSpec(uniq[j])
+				fn(j)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// SweepStore is SweepN consulting (and populating) a persistent result
+// store behind the in-memory memo: a unique point found in the store skips
+// simulation entirely, a simulated point is appended for later processes.
+// A nil store is the plain in-memory sweep. Results are identical either
+// way — stored payloads round-trip the Result and its Measure exactly —
+// except that a store-served point reports the ElapsedMS of the run that
+// originally simulated it (the memo overlay below is applied after store
+// lookup, so Memoized flags are untouched by store warmth).
+func SweepStore(workers int, st *store.Store, specs []Spec) ([]Result, error) {
+	uniq, keys, uniqOf := dedupe(specs)
+	runs := make([]Result, len(uniq))
+	errs := make([]error, len(uniq))
+	forEachUnique(workers, len(uniq), func(j int) {
+		runs[j], _, errs[j] = runOrLoad(st, uniq[j], keys[j])
+	})
 
 	// Report the first failure in spec order, so the error is the same
 	// whatever the worker count.

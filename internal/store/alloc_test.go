@@ -1,0 +1,66 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestGetAllocBudget pins the cache-hit hot path: serving a result from
+// the warm in-memory view must not allocate at all (hit or miss), and the
+// full lookup including the content hash must stay within a handful of
+// allocations. A regression here turns 10^6-trial warm campaigns from a
+// map scan into a GC workload.
+func TestGetAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	s, err := Open(t.TempDir(), "alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("fp-%03d", i))
+		if err := s.Put("result", keys[i], payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missKey := Key("absent")
+
+	perHit := testing.AllocsPerRun(200, func() {
+		for _, k := range keys {
+			if _, ok := s.Get("result", k); !ok {
+				t.Error("warm key missed")
+			}
+		}
+	}) / float64(len(keys))
+	t.Logf("allocs per warm Get: %.3f", perHit)
+	if perHit > 0 {
+		t.Fatalf("warm Get allocates %.3f objects, budget 0", perHit)
+	}
+
+	perMiss := testing.AllocsPerRun(200, func() {
+		if _, ok := s.Get("result", missKey); ok {
+			t.Error("phantom hit")
+		}
+	})
+	t.Logf("allocs per miss Get: %.3f", perMiss)
+	if perMiss > 0 {
+		t.Fatalf("miss Get allocates %.3f objects, budget 0", perMiss)
+	}
+
+	// The end-to-end lookup a sweep cache hit performs: hash the canonical
+	// fingerprint, then fetch. Hashing allocates the hex key; nothing else
+	// may.
+	perLookup := testing.AllocsPerRun(200, func() {
+		if _, ok := s.Get("result", Key("fp-007")); !ok {
+			t.Error("warm key missed")
+		}
+	})
+	t.Logf("allocs per Key+Get lookup: %.3f", perLookup)
+	if perLookup > 3 {
+		t.Fatalf("warm lookup allocates %.3f objects, budget 3", perLookup)
+	}
+}
