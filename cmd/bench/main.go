@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/jobstream"
 	"repro/internal/mpi"
 	"repro/internal/perf"
 	"repro/internal/scenario"
@@ -228,10 +229,40 @@ func runCampaignMacro(trials int) (Macro, error) {
 	}, nil
 }
 
+// runJobstreamMacro times the open-load jobstream service (the CI smoke
+// workload inlined: two job classes, node failures, FCFS vs EASY crossed
+// with native vs replicated jobs) and reports simulated job submissions
+// per second of bench wall time — the end-to-end cost of the scheduler
+// event loop plus policy decisions plus failure resolution.
+func runJobstreamMacro(trials int) (Macro, error) {
+	w := &scenario.Workload{
+		Nodes: 16, Jobs: 40, Rates: []float64{8},
+		MTBFSeconds: 10, Seed: 7,
+		Mix: []scenario.JobClass{
+			{Name: "hpccg-small", App: "hpccg", Config: json.RawMessage(`{"Iters": 5, "Scale": 64}`), Logical: 4, Weight: 2},
+			{Name: "gtc-small", App: "gtc", Config: json.RawMessage(`{"Steps": 2, "Scale": 512}`), Logical: 2, Weight: 1},
+		},
+		Schedulers: []string{"fcfs", "easy"},
+		Policies:   []string{"native", "replicate"},
+	}
+	cells := len(w.Rates) * len(w.Schedulers) * len(w.Policies) * trials
+	jobs := cells * w.Jobs
+	start := time.Now()
+	if _, err := jobstream.Run(jobstream.Config{Trials: trials}, w); err != nil {
+		return Macro{}, err
+	}
+	el := time.Since(start).Seconds()
+	return Macro{
+		Name: "jobstream-smoke", Units: "jobs", Count: jobs,
+		Seconds: el, RatePerSec: float64(jobs) / el,
+	}, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path")
 	reps := flag.Int("sweep-reps", 3, "repetitions of the smoke-grid sweep macro benchmark")
 	trials := flag.Int("trials", 100, "seeded trials for the campaign macro benchmark")
+	jsTrials := flag.Int("jobstream-trials", 5, "seeded trials per cell for the jobstream macro benchmark")
 	flag.Parse()
 
 	micro := []Bench{
@@ -256,6 +287,7 @@ func main() {
 	for _, run := range []func() (Macro, error){
 		func() (Macro, error) { return runSweepMacro(*reps) },
 		func() (Macro, error) { return runCampaignMacro(*trials) },
+		func() (Macro, error) { return runJobstreamMacro(*jsTrials) },
 	} {
 		m, err := run()
 		if err != nil {

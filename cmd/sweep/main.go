@@ -69,6 +69,22 @@
 //	sweep -spec scenarios/smoke.json -json -store results -shard 1/3
 //	sweep -spec scenarios/smoke.json -json -store results -shard 2/3
 //	sweep merge -spec scenarios/smoke.json -json -store results
+//
+// Jobstream mode runs a workload scenario file (a "workload" section; see
+// scenarios/jobstream-*.json) as an open-load cluster service: a seeded
+// Poisson job stream placed by pluggable schedulers under per-job
+// fault-tolerance policies, compared side by side on identical arrival and
+// failure streams (internal/jobstream). It composes with the store and
+// shard machinery like a campaign — populate shards own cells by index,
+// and a merge (or any warm rerun) serves every cell from the store:
+//
+//	sweep -mode jobstream -spec scenarios/jobstream-smoke.json
+//	sweep -mode jobstream -spec scenarios/jobstream-policies.json -trials 10 -json
+//	sweep -mode jobstream -spec scenarios/jobstream-smoke.json -store results -shard 0/3
+//	sweep merge -mode jobstream -spec scenarios/jobstream-smoke.json -store results
+//
+// -progress D prints a heartbeat to stderr every D (e.g. -progress 2s):
+// simulation units done/planned, plus store hits/misses when one is open.
 package main
 
 import (
@@ -80,9 +96,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/jobstream"
 	"repro/internal/perf"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -122,9 +140,9 @@ func main() {
 	list := flag.Bool("list", false, "list registered apps, figures, nets and machines, then exit")
 	specFile := flag.String("spec", "", "run a scenario file (see scenarios/)")
 	validate := flag.Bool("validate", false, "with -spec: load, validate and expand the file, but do not run it")
-	modeFlag := flag.String("mode", "", "'campaign' runs Monte Carlo failure injection over the -app grid or the -spec file")
-	trials := flag.Int("trials", 100, "campaign: seeded trials per scenario point")
-	seed := flag.Int64("seed", 1, "campaign: master seed (trial seeds derive deterministically)")
+	modeFlag := flag.String("mode", "", "'campaign' runs Monte Carlo failure injection over the -app grid or the -spec file; 'jobstream' runs a workload -spec file as an open-load cluster service")
+	trials := flag.Int("trials", 100, "campaign/jobstream: seeded trials per point or cell (jobstream default 5)")
+	seed := flag.Int64("seed", 1, "campaign/jobstream: master seed (jobstream default: the workload's own)")
 	mtbfFlag := flag.String("mtbf", "0.2", "campaign: comma-separated per-replica MTBF values in virtual seconds")
 	horizon := flag.Float64("horizon", 0, "campaign: crash-window in virtual seconds (0 = fault-free wall time; crashes drawn past a run's completion are no-ops)")
 	ckptDelta := flag.Float64("ckpt-delta", 0, "campaign: checkpoint cost in seconds, analytic and measured ccr (0 = 5% of fault-free wall)")
@@ -133,6 +151,7 @@ func main() {
 	ft := flag.String("ft", "replication", "campaign: fault-tolerance sides to measure — 'replication' (the -modes grid) or 'ccr' (adds a measured checkpoint/restart series at the native budget next to it)")
 	storeDir := flag.String("store", "", "back the run with a persistent result store in this directory (content-addressed cache; see the package docs)")
 	shardFlag := flag.String("shard", "", "with -store: populate only shard i/N of the run (e.g. 0/3) and report a summary instead of results")
+	progress := flag.Duration("progress", 0, "print a progress heartbeat to stderr at this interval (e.g. 2s; 0 = off)")
 	flag.CommandLine.Parse(args)
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
@@ -148,9 +167,16 @@ func main() {
 	}
 
 	if *modeFlag != "campaign" {
-		for _, flagName := range []string{"trials", "seed", "mtbf", "horizon", "ckpt-delta", "ckpt-restart", "ckpt-tau", "ft"} {
+		for _, flagName := range []string{"mtbf", "horizon", "ckpt-delta", "ckpt-restart", "ckpt-tau", "ft"} {
 			if setFlags[flagName] {
 				fail("-%s requires -mode campaign", flagName)
+			}
+		}
+	}
+	if *modeFlag != "campaign" && *modeFlag != "jobstream" {
+		for _, flagName := range []string{"trials", "seed"} {
+			if setFlags[flagName] {
+				fail("-%s requires -mode campaign or -mode jobstream", flagName)
 			}
 		}
 	}
@@ -167,6 +193,15 @@ func main() {
 		Trials: *trials, Seed: *seed, Workers: *workers,
 		Horizon:   sim.Seconds(*horizon),
 		CkptDelta: *ckptDelta, CkptRestart: *ckptRestart, CkptTau: *ckptTau,
+	}
+	// Jobstream defaults differ: unset -trials means the subsystem's own
+	// default, and an unset -seed defers to the workload's seed.
+	jcfg := jobstream.Config{Workers: *workers}
+	if setFlags["trials"] {
+		jcfg.Trials = *trials
+	}
+	if setFlags["seed"] {
+		jcfg.Seed = *seed
 	}
 
 	sctx := storeCtx{merge: mergeMode}
@@ -206,6 +241,24 @@ func main() {
 		sctx.st = st
 	}
 
+	if *progress > 0 {
+		// Heartbeat: simulation units done/planned so far, plus the store's
+		// running hit/miss counters when one is open. Dies with the process.
+		go func() {
+			t := time.NewTicker(*progress)
+			defer t.Stop()
+			for range t.C {
+				done, total := experiments.Progress.Snapshot()
+				line := fmt.Sprintf("sweep: progress %d/%d units", done, total)
+				if sctx.st != nil {
+					s := sctx.st.Stats()
+					line += fmt.Sprintf("; store hits=%d misses=%d", s.Hits, s.Misses)
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}()
+	}
+
 	switch {
 	case *validate && *specFile == "":
 		fail("-validate needs a -spec file")
@@ -224,6 +277,9 @@ func main() {
 			validateSpec(f)
 			return
 		}
+		if f.Workload != nil && *modeFlag != "jobstream" {
+			fail("%s is a workload file: run it with -mode jobstream", *specFile)
+		}
 		switch *modeFlag {
 		case "":
 			if err := runSpecFile(os.Stdout, f, *workers, *jsonOut, sctx); err != nil {
@@ -233,9 +289,18 @@ func main() {
 			if err := runCampaignSpec(os.Stdout, f, ccfg, *jsonOut, sctx); err != nil {
 				fail("%v", err)
 			}
+		case "jobstream":
+			if f.Workload == nil {
+				fail("-mode jobstream needs a workload file (%s has no workload section)", *specFile)
+			}
+			if err := runJobstream(os.Stdout, f, jcfg, *jsonOut, sctx); err != nil {
+				fail("%v", err)
+			}
 		default:
-			fail("unknown -mode %q (only 'campaign')", *modeFlag)
+			fail("unknown -mode %q (campaign | jobstream)", *modeFlag)
 		}
+	case *modeFlag == "jobstream":
+		fail("-mode jobstream needs a -spec workload file")
 	case *modeFlag == "campaign":
 		if *figures != "" {
 			fail("-mode campaign uses the -app grid, not -figures")
@@ -256,7 +321,7 @@ func main() {
 			fail("%v", err)
 		}
 	case *modeFlag != "":
-		fail("unknown -mode %q (only 'campaign')", *modeFlag)
+		fail("unknown -mode %q (campaign | jobstream)", *modeFlag)
 	case *figures != "" && *app != "":
 		fail("use either -figures or -app, not both")
 	case *figures != "":
@@ -311,9 +376,29 @@ func listRegistries(w io.Writer) {
 	}
 	fmt.Fprintf(w, "nets:         %s\n", strings.Join(simnet.NetNames(), " | "))
 	fmt.Fprintf(w, "machines:     %s\n", strings.Join(perf.MachineNames(), " | "))
+	fmt.Fprintln(w, "jobstream schedulers:")
+	for _, e := range jobstream.SchedulerList() {
+		fmt.Fprintf(w, "  %-12s %s\n", e.Name, e.Description)
+	}
+	fmt.Fprintln(w, "jobstream policies:")
+	for _, e := range jobstream.PolicyList() {
+		fmt.Fprintf(w, "  %-12s %s\n", e.Name, e.Description)
+	}
 }
 
 func validateSpec(f *scenario.File) {
+	if f.Workload != nil {
+		w := f.Workload
+		if err := w.Validate(); err != nil {
+			fail("%v", err)
+		}
+		if err := jobstream.CheckNames(w); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("ok: workload: %d rates × %d schedulers × %d policies, %d jobs/trial on %d nodes\n",
+			len(w.Rates), len(w.Schedulers), len(w.Policies), w.Jobs, w.Nodes)
+		return
+	}
 	scs, err := f.Expand()
 	if err != nil {
 		fail("%v", err)
@@ -704,6 +789,42 @@ func runCampaign(w io.Writer, cfg campaign.Config, scs []campaign.Scenario,
 		return nil
 	}
 	fmt.Fprintln(w, res.Table().String())
+	return nil
+}
+
+// runJobstream runs a workload scenario file through the jobstream
+// subsystem. With an active shard it populates the store with the owned
+// cells instead; a merge (or any run over a warm store) serves every cell
+// from the store, so its output is byte-identical to a cold
+// single-process run.
+func runJobstream(w io.Writer, f *scenario.File, cfg jobstream.Config, jsonOut bool, sctx storeCtx) error {
+	cfg.Store = sctx.st
+	if sctx.shard.Active() {
+		stats, err := jobstream.Populate(cfg, f.Workload, sctx.shard)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			emitJSON(w, struct {
+				Shard string `json:"shard"`
+				jobstream.PopulateStats
+			}{sctx.shard.String(), stats})
+			return nil
+		}
+		fmt.Fprintf(w, "shard %s: %d cells, %d owned, %d simulated, %d store hits\n",
+			sctx.shard, stats.Cells, stats.Owned, stats.Simulated, stats.Hits)
+		return nil
+	}
+	res, err := jobstream.Run(cfg, f.Workload)
+	if err != nil {
+		return err
+	}
+	res.Name = f.Name
+	if jsonOut {
+		emitJSON(w, res)
+		return nil
+	}
+	fmt.Fprintln(w, res.Table(f.Workload.SlowdownBound()).String())
 	return nil
 }
 

@@ -139,10 +139,12 @@ func PopulateStore(workers int, st *store.Store, sh store.Shard, specs []Spec) (
 	runs := make([]Result, len(uniq))
 	errs := make([]error, len(uniq))
 	var hits, simulated atomic.Int64
+	Progress.Plan(stats.Owned)
 	forEachUnique(workers, len(uniq), func(j int) {
 		if !owned[j] {
 			return
 		}
+		defer Progress.Done()
 		var hit bool
 		runs[j], hit, errs[j] = runOrLoad(st, uniq[j], keys[j])
 		if errs[j] != nil {

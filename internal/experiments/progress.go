@@ -1,0 +1,29 @@
+package experiments
+
+import "sync/atomic"
+
+// Progress is the process-wide work-unit counter behind cmd/sweep's
+// -progress heartbeat. Layers that run simulation work through the pools
+// plan units up front and mark them done as they finish: SweepStore counts
+// each unique sweep point, PopulateStore each owned unique point, and the
+// jobstream layer each (rate, scheduler, policy, trial) cell. Counts are
+// cumulative over the process lifetime — a heartbeat only ever reads the
+// ratio, so monotone is exactly what it wants.
+var Progress ProgressCounter
+
+// ProgressCounter tracks planned vs completed work units. The zero value
+// is ready to use; all methods are safe for concurrent callers.
+type ProgressCounter struct {
+	done, total atomic.Int64
+}
+
+// Plan records n upcoming work units.
+func (p *ProgressCounter) Plan(n int) { p.total.Add(int64(n)) }
+
+// Done records one completed work unit.
+func (p *ProgressCounter) Done() { p.done.Add(1) }
+
+// Snapshot reads the counters.
+func (p *ProgressCounter) Snapshot() (done, total int64) {
+	return p.done.Load(), p.total.Load()
+}

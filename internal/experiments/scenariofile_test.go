@@ -98,6 +98,14 @@ func TestAllScenarioFilesValid(t *testing.T) {
 			t.Errorf("%s: %v", path, err)
 			continue
 		}
+		if f.Workload != nil {
+			// Workload files run through jobstream, not Expand; the
+			// scheduler/policy names are checked by the jobstream tests.
+			if err := f.Workload.Validate(); err != nil {
+				t.Errorf("%s: %v", path, err)
+			}
+			continue
+		}
 		scs, err := f.Expand()
 		if err != nil {
 			t.Errorf("%s: %v", path, err)

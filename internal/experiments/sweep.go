@@ -138,6 +138,11 @@ func (s Spec) key() string {
 	return string(k)
 }
 
+// Key returns the spec's canonical content fingerprint — the memo and
+// store key — or "" when the spec is not memoizable. Exported for layers
+// that memoize per-spec simulations themselves (the jobstream runner).
+func (s Spec) Key() string { return s.key() }
+
 // SpecFor converts a validated Scenario into a runnable sweep point: the
 // thin adapter every scenario consumer (CLIs, figures, scenario files,
 // campaigns) goes through.
@@ -330,8 +335,10 @@ func SweepStore(workers int, st *store.Store, specs []Spec) ([]Result, error) {
 	uniq, keys, uniqOf := dedupe(specs)
 	runs := make([]Result, len(uniq))
 	errs := make([]error, len(uniq))
+	Progress.Plan(len(uniq))
 	forEachUnique(workers, len(uniq), func(j int) {
 		runs[j], _, errs[j] = runOrLoad(st, uniq[j], keys[j])
+		Progress.Done()
 	})
 
 	// Report the first failure in spec order, so the error is the same

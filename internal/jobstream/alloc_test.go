@@ -1,0 +1,80 @@
+package jobstream
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// steadyView builds a mid-stream scheduler view: a cluster mostly busy, a
+// queue whose head does not fit (forcing EASY into its reservation walk,
+// the most expensive tick) and a tail of backfill candidates.
+func steadyView() *View {
+	return &View{
+		Now:   100,
+		Nodes: 16,
+		Free:  3,
+		Pending: []PendingJob{
+			{Width: 8, Arrival: 90, Est: 4},
+			{Width: 2, Arrival: 91, Est: 1},
+			{Width: 1, Arrival: 92, Est: 0.5},
+			{Width: 3, Arrival: 93, Est: 2},
+			{Width: 2, Arrival: 94, Est: 8},
+		},
+		RunEnds: []RunEnd{
+			{Time: 101, Width: 4},
+			{Time: 102, Width: 5},
+			{Time: 104, Width: 2},
+			{Time: 107, Width: 2},
+		},
+	}
+}
+
+// TestSchedulerTickAllocBudget pins the scheduler hot path: one Next call
+// on a steady-state view must not allocate for any registered scheduler.
+// The jobstream event loop calls Next once per placement attempt — an
+// allocation here multiplies by jobs x cells x trials across a run.
+func TestSchedulerTickAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	for _, e := range SchedulerList() {
+		s, err := newScheduler(e.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// FCFS legitimately returns -1 here (its head does not fit); a
+		// refusal tick is just as hot as a placement tick.
+		v := steadyView()
+		if got := s.Next(v); got >= len(v.Pending) {
+			t.Fatalf("%s: Next returned out-of-range index %d", e.Name, got)
+		}
+		per := testing.AllocsPerRun(200, func() {
+			s.Next(v)
+		})
+		t.Logf("%s: allocs per Next: %.3f", e.Name, per)
+		if per > 0 {
+			t.Errorf("%s: Next allocates %.3f objects per tick, budget 0", e.Name, per)
+		}
+	}
+}
+
+// TestClusterAllocBudget pins the placement hot path: Alloc into a reused
+// slice plus the matching Release must not allocate.
+func TestClusterAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	cl := NewCluster(32)
+	busy := cl.Alloc(7, nil) // fragment the free list a little
+	_ = busy
+	dst := make([]int, 0, 32)
+	per := testing.AllocsPerRun(200, func() {
+		nodes := cl.Alloc(12, dst[:0])
+		cl.Release(nodes)
+	})
+	t.Logf("allocs per Alloc+Release: %.3f", per)
+	if per > 0 {
+		t.Errorf("Alloc+Release allocates %.3f objects per placement, budget 0", per)
+	}
+}

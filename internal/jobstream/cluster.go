@@ -1,0 +1,55 @@
+package jobstream
+
+import "fmt"
+
+// Cluster is the shared node allocator of one job stream: N identical
+// nodes, each either free or held by exactly one running job. Allocation
+// is lowest-id-first, so placement is deterministic in the event order.
+// A node failure does not remove the node from service — the failed
+// process's job pays (crash, rollback or interruption) and the node is
+// back for the next job, matching the renewal failure model.
+type Cluster struct {
+	busy []bool
+	free int
+}
+
+// NewCluster builds an all-free cluster of n nodes.
+func NewCluster(n int) *Cluster {
+	return &Cluster{busy: make([]bool, n), free: n}
+}
+
+// Nodes is the cluster size.
+func (c *Cluster) Nodes() int { return len(c.busy) }
+
+// Free is the current free-node count.
+func (c *Cluster) Free() int { return c.free }
+
+// Alloc claims the width lowest-numbered free nodes, appending their ids
+// to dst (pass a reused dst[:0] to stay allocation-free). The scheduler
+// contract guarantees width <= Free; violating it is a programming error.
+func (c *Cluster) Alloc(width int, dst []int) []int {
+	if width > c.free {
+		panic(fmt.Sprintf("jobstream: alloc %d of %d free nodes", width, c.free))
+	}
+	for id := 0; width > 0; id++ {
+		if c.busy[id] {
+			continue
+		}
+		c.busy[id] = true
+		c.free--
+		dst = append(dst, id)
+		width--
+	}
+	return dst
+}
+
+// Release frees the given nodes.
+func (c *Cluster) Release(nodes []int) {
+	for _, id := range nodes {
+		if !c.busy[id] {
+			panic(fmt.Sprintf("jobstream: release of free node %d", id))
+		}
+		c.busy[id] = false
+		c.free++
+	}
+}

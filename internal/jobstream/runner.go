@@ -1,0 +1,56 @@
+package jobstream
+
+import (
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/store"
+)
+
+// Runner resolves one placed job's cluster simulation to its measured
+// result: fault-free reference runs and replicated runs under concrete
+// crash schedules. The jobstream simulator shares one Runner across all
+// cells of a run, so a (class, schedule) simulation happens once however
+// many cells need it.
+type Runner interface {
+	Run(spec experiments.Spec) (experiments.Result, error)
+}
+
+// memoRunner memoizes simulations by the spec's content key, backed by
+// the optional persistent store. Concurrent cells may race to simulate
+// the same key; the results are identical by the determinism contract, so
+// first-wins on both the memo and the store keeps every cell's numbers
+// independent of scheduling.
+type memoRunner struct {
+	st   *store.Store
+	mu   sync.Mutex
+	memo map[string]experiments.Result
+}
+
+func newMemoRunner(st *store.Store) *memoRunner {
+	return &memoRunner{st: st, memo: map[string]experiments.Result{}}
+}
+
+func (r *memoRunner) Run(spec experiments.Spec) (experiments.Result, error) {
+	key := spec.Key()
+	if key != "" {
+		r.mu.Lock()
+		res, ok := r.memo[key]
+		r.mu.Unlock()
+		if ok {
+			return res, nil
+		}
+	}
+	// SweepStore consults and populates the persistent store behind its
+	// own memo; a single-spec call is exactly runOrLoad plus bookkeeping.
+	out, err := experiments.SweepStore(1, r.st, []experiments.Spec{spec})
+	if err != nil {
+		return experiments.Result{}, err
+	}
+	if key != "" {
+		r.mu.Lock()
+		r.memo[key] = out[0]
+		r.mu.Unlock()
+	}
+	return out[0], nil
+}

@@ -1,0 +1,197 @@
+package jobstream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// PendingJob is a queued job as schedulers see it.
+type PendingJob struct {
+	Width   int     // physical nodes the job occupies once placed
+	Arrival float64 // submission time, seconds
+	Est     float64 // fault-free service estimate, seconds
+}
+
+// RunEnd is one running job's completion. The simulator knows exact
+// completion times (it computed them when the job was placed), so backfill
+// reservations here are sharper than a real scheduler's walltime guesses —
+// but a job's *own* Est can still undershoot its failure-stretched
+// runtime, which is exactly the estimate error real backfill lives with.
+type RunEnd struct {
+	Time  float64
+	Width int
+}
+
+// View is a scheduler's read-only picture of the cluster at one decision
+// point. The simulator rebuilds it (into reused buffers) after every event
+// and after every placement.
+type View struct {
+	Now     float64
+	Nodes   int
+	Free    int
+	Pending []PendingJob // queue in arrival order
+	RunEnds []RunEnd     // running jobs by ascending completion time
+}
+
+// Scheduler picks which pending job to place next. Next returns an index
+// into v.Pending whose job must fit (Width <= v.Free), or -1 to wait for
+// the next event. It is called again after every placement until it
+// returns -1, so one decision point can place many jobs. A Scheduler may
+// keep state; each (rate, scheduler, policy, trial) cell gets a fresh
+// instance. The placement loop is an alloc-budgeted hot path: Next must
+// not allocate.
+type Scheduler interface {
+	Name() string
+	Next(v *View) int
+}
+
+// fcfs places strictly in arrival order: the head of the queue or nothing.
+type fcfs struct{}
+
+func (fcfs) Name() string { return "fcfs" }
+
+func (fcfs) Next(v *View) int {
+	if len(v.Pending) > 0 && v.Pending[0].Width <= v.Free {
+		return 0
+	}
+	return -1
+}
+
+// easy is EASY backfill: FCFS, but when the head does not fit it computes
+// the head's reservation (the shadow time at which enough nodes will have
+// freed) and places any later job that fits now and either finishes by the
+// shadow time or leaves the reservation's spare nodes untouched.
+type easy struct{}
+
+func (easy) Name() string { return "easy" }
+
+func (easy) Next(v *View) int {
+	if len(v.Pending) == 0 {
+		return -1
+	}
+	if v.Pending[0].Width <= v.Free {
+		return 0
+	}
+	// Reservation for the head: walk completions until it fits.
+	shadow := math.Inf(1)
+	spare := 0
+	free := v.Free
+	for _, re := range v.RunEnds {
+		free += re.Width
+		if free >= v.Pending[0].Width {
+			shadow = re.Time
+			spare = free - v.Pending[0].Width
+			break
+		}
+	}
+	for i := 1; i < len(v.Pending); i++ {
+		p := v.Pending[i]
+		if p.Width > v.Free {
+			continue
+		}
+		if v.Now+p.Est <= shadow || p.Width <= spare {
+			return i
+		}
+	}
+	return -1
+}
+
+// kchoicesK is the probe width of the k-choices scheduler.
+const kchoicesK = 4
+
+// kchoices probes the first k queued jobs and places the widest one that
+// fits (ties to the earliest arrival): a bounded-lookahead packing rule in
+// the spirit of power-of-k-choices load balancing.
+type kchoices struct{}
+
+func (kchoices) Name() string { return "kchoices" }
+
+func (kchoices) Next(v *View) int {
+	best := -1
+	for i := 0; i < len(v.Pending) && i < kchoicesK; i++ {
+		if v.Pending[i].Width > v.Free {
+			continue
+		}
+		if best < 0 || v.Pending[i].Width > v.Pending[best].Width {
+			best = i
+		}
+	}
+	return best
+}
+
+// RegistryEntry is one registered scheduler or policy, for sweep -list.
+type RegistryEntry struct {
+	Name        string
+	Description string
+}
+
+var (
+	regMu      sync.RWMutex
+	schedulers = map[string]struct {
+		desc string
+		mk   func() Scheduler
+	}{}
+)
+
+// RegisterScheduler adds a scheduler to the registry. Names are workload
+// currency (files, store keys, CLI output), so an empty or duplicate name
+// panics.
+func RegisterScheduler(name, desc string, mk func() Scheduler) {
+	if name == "" || mk == nil {
+		panic("jobstream: RegisterScheduler with empty name or constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := schedulers[name]; dup {
+		panic(fmt.Sprintf("jobstream: scheduler %q registered twice", name))
+	}
+	schedulers[name] = struct {
+		desc string
+		mk   func() Scheduler
+	}{desc, mk}
+}
+
+// newScheduler instantiates a registered scheduler.
+func newScheduler(name string) (Scheduler, error) {
+	regMu.RLock()
+	ent, ok := schedulers[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("jobstream: unknown scheduler %q (have %s)", name, nameList(SchedulerList()))
+	}
+	return ent.mk(), nil
+}
+
+// SchedulerList enumerates the registered schedulers, sorted by name.
+func SchedulerList() []RegistryEntry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]RegistryEntry, 0, len(schedulers))
+	for name, ent := range schedulers {
+		out = append(out, RegistryEntry{Name: name, Description: ent.desc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func nameList(entries []RegistryEntry) string {
+	s := ""
+	for i, e := range entries {
+		if i > 0 {
+			s += ", "
+		}
+		s += e.Name
+	}
+	return s
+}
+
+func init() {
+	RegisterScheduler("fcfs", "first-come first-served: strict arrival order, no lookahead",
+		func() Scheduler { return fcfs{} })
+	RegisterScheduler("easy", "EASY backfill: FCFS head reservation, later jobs fill the holes",
+		func() Scheduler { return easy{} })
+	RegisterScheduler("kchoices", fmt.Sprintf("bounded lookahead: widest fitting job among the first %d queued", kchoicesK),
+		func() Scheduler { return kchoices{} })
+}

@@ -1,0 +1,109 @@
+package jobstream
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Seed-stream lanes under fault.TrialSeed(seed, lane, trial): lane 0
+// drives arrivals and class draws, lane 1 the node-failure trace. Every
+// (scheduler, policy) cell of one trial re-derives both from the same
+// coordinates, which is what makes the side-by-side comparison replay
+// identical streams.
+const (
+	arrivalLane = 0
+	failureLane = 1
+)
+
+// arrival is one generated job submission.
+type arrival struct {
+	at    float64 // submission time, seconds
+	class int     // index into the workload mix
+}
+
+// genArrivals draws the trial's arrival stream: exponential interarrivals
+// at the given rate and weighted class picks, both from one seeded
+// generator. The interarrival draws are rate-independent uniforms scaled
+// by 1/rate, so different rate points of one workload see common random
+// numbers — a variance-reduction property, not a correctness requirement.
+func genArrivals(w *scenario.Workload, rate float64, seed int64, trial int) []arrival {
+	rng := rand.New(rand.NewSource(fault.TrialSeed(seed, arrivalLane, trial)))
+	total := 0.0
+	for _, c := range w.Mix {
+		total += c.EffWeight()
+	}
+	out := make([]arrival, w.Jobs)
+	t := 0.0
+	for j := range out {
+		t += rng.ExpFloat64() / rate
+		pick := rng.Float64() * total
+		class := len(w.Mix) - 1
+		acc := 0.0
+		for k, c := range w.Mix {
+			acc += c.EffWeight()
+			if pick < acc {
+				class = k
+				break
+			}
+		}
+		out[j] = arrival{at: t, class: class}
+	}
+	return out
+}
+
+// failTrace is the trial's shared node-failure history: one exponential
+// renewal process per node (fault.ExponentialDrawUnclamped with the nodes
+// as "logical" slots), drawn lazily over a doubling horizon. Growing the
+// horizon never disturbs failures already drawn — each node's sub-stream
+// is prefix-stable — so every job can extend its own observation window
+// independently and all cells of a trial agree on every node's history.
+type failTrace struct {
+	nodes   int
+	mtbf    float64 // per-node MTBF, seconds (0 = failure-free)
+	seed    int64
+	horizon float64
+	times   [][]float64 // per node, ascending absolute seconds
+}
+
+func newFailTrace(nodes int, mtbfSeconds float64, seed int64) *failTrace {
+	return &failTrace{nodes: nodes, mtbf: mtbfSeconds, seed: seed, times: make([][]float64, nodes)}
+}
+
+// ensure extends the drawn horizon to cover `to`.
+func (ft *failTrace) ensure(to float64) {
+	if ft.mtbf == 0 || to <= ft.horizon {
+		return
+	}
+	h := ft.horizon
+	if h == 0 {
+		h = ft.mtbf
+	}
+	for h < to {
+		h *= 2
+	}
+	d := fault.ExponentialDrawUnclamped(ft.nodes, 1, sim.Seconds(ft.mtbf), sim.Seconds(h), ft.seed)
+	for i := range ft.times {
+		ft.times[i] = ft.times[i][:0]
+	}
+	for _, c := range d.Schedule.Crashes {
+		ft.times[c.Logical] = append(ft.times[c.Logical], c.Time.Seconds())
+	}
+	ft.horizon = h
+}
+
+// window returns node's failures in [from, to), ascending. The returned
+// slice aliases the trace; callers copy what they keep.
+func (ft *failTrace) window(node int, from, to float64) []float64 {
+	if ft.mtbf == 0 {
+		return nil
+	}
+	ft.ensure(to)
+	ts := ft.times[node]
+	lo := sort.SearchFloat64s(ts, from)
+	hi := lo + sort.SearchFloat64s(ts[lo:], to)
+	return ts[lo:hi]
+}

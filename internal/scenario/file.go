@@ -19,6 +19,11 @@ type File struct {
 	Figure    string     `json:"figure,omitempty"`
 	Grid      *Grid      `json:"grid,omitempty"`
 	Scenarios []Scenario `json:"scenarios,omitempty"`
+
+	// Workload is the job-stream section (sweep -mode jobstream). A
+	// workload file carries no grid or scenarios: the workload is the
+	// whole experiment.
+	Workload *Workload `json:"workload,omitempty"`
 }
 
 // Parse decodes a scenario file strictly: unknown fields are typos, not
@@ -30,8 +35,11 @@ func Parse(b []byte) (*File, error) {
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("scenario: parse: %w", err)
 	}
-	if f.Grid == nil && len(f.Scenarios) == 0 {
-		return nil, fmt.Errorf("scenario: file %q declares neither a grid nor scenarios", f.Name)
+	if f.Grid == nil && len(f.Scenarios) == 0 && f.Workload == nil {
+		return nil, fmt.Errorf("scenario: file %q declares neither a grid, scenarios nor a workload", f.Name)
+	}
+	if f.Workload != nil && (f.Grid != nil || len(f.Scenarios) > 0 || f.Figure != "") {
+		return nil, fmt.Errorf("scenario: file %q mixes a workload with a grid, scenarios or a figure", f.Name)
 	}
 	return &f, nil
 }
