@@ -11,7 +11,7 @@ test:
 # Allocation budgets skip under -race (the detector itself allocates), so
 # they get a dedicated non-race invocation.
 test-alloc:
-	$(GO) test -run Alloc ./internal/sim ./internal/simnet ./internal/mpi ./internal/replication ./internal/store ./internal/jobstream
+	$(GO) test -run Alloc ./internal/sim ./internal/simnet ./internal/mpi ./internal/replication ./internal/store ./internal/jobstream ./internal/experiments
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -20,7 +20,7 @@ bench:
 # the campaign-scale macro benchmarks, and writes BENCH_sim.json at the
 # repo root (the tracked perf trajectory; CI uploads it as an artifact).
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_sim.json
+	$(GO) run ./cmd/bench -out BENCH_sim.json $(BENCHFLAGS)
 
 lint:
 	$(GO) vet ./...

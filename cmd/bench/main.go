@@ -6,10 +6,13 @@
 // root by default). CI uploads the file as an artifact next to the
 // determinism artifacts, so every commit carries its measured throughput.
 //
-// The embedded baseline is the pre-refactor engine (PR 4: closure-per-event
-// container/heap queue, eager park reasons, no pooling), measured on the
-// same benchmarks; the speedup section reports current/baseline so the
-// allocation-light refactor stays an observable, regression-checked fact.
+// The embedded baseline is re-pinned each time a PR makes a deliberate
+// performance claim; it currently holds the PR-8 substrate (allocation-light
+// DES core, goroutine-per-rank collectives, fresh engine per spec), measured
+// on the same benchmark bodies. The speedup section reports
+// current/baseline so the collective-coalescing + engine-pooling refactor
+// stays an observable, regression-checked fact; -min-speedup turns it into
+// a hard gate for CI.
 //
 //	go run ./cmd/bench -out BENCH_sim.json
 package main
@@ -69,14 +72,18 @@ type Output struct {
 	Speedup     map[string]Speedup `json:"speedup_vs_baseline"`
 }
 
-// baseline is the pre-refactor substrate (PR 4, commit f9c0b16), measured
-// with `go test -bench ... -benchmem -benchtime 1s` on the same benchmark
-// bodies (Xeon 2.70GHz, go1.24, GOMAXPROCS=1). It is pinned here so the
-// refactor's gain stays visible in every future BENCH_sim.json.
+// baseline is the pre-coalescing substrate (PR 8), measured with this very
+// tool on the same benchmark bodies (Xeon 2.70GHz, go1.24, GOMAXPROCS=1).
+// It is pinned here so the collective-state-machine refactor's gain stays
+// visible in every future BENCH_sim.json. (The PR-4 closure-per-event
+// engine, the previous pin, measured 58.40 ns/op engine-events, 4908 ns/op
+// mpi-pingpong, 930208 ns/op allreduce-64.) Micros without a baseline entry
+// (allreduce-512, pooled-sweep) are new in PR 9 and will be pinned at the
+// next re-baseline.
 var baseline = []Bench{
-	{Name: "engine-events", NsPerOp: 58.40, AllocsPerOp: 1, BytesPerOp: 48, OpsPerSec: 1e9 / 58.40},
-	{Name: "mpi-pingpong", NsPerOp: 4908, AllocsPerOp: 40, BytesPerOp: 3872, OpsPerSec: 1e9 / 4908},
-	{Name: "allreduce-64", NsPerOp: 930208, AllocsPerOp: 2714, BytesPerOp: 177141, OpsPerSec: 1e9 / 930208},
+	{Name: "engine-events", NsPerOp: 16.194375868941652, AllocsPerOp: 0, BytesPerOp: 0, OpsPerSec: 1e9 / 16.194375868941652},
+	{Name: "mpi-pingpong", NsPerOp: 3189.2800199747685, AllocsPerOp: 10, BytesPerOp: 3168, OpsPerSec: 1e9 / 3189.2800199747685},
+	{Name: "allreduce-64", NsPerOp: 475035.12525849335, AllocsPerOp: 822, BytesPerOp: 116732, OpsPerSec: 1e9 / 475035.12525849335},
 }
 
 func toBench(name string, r testing.BenchmarkResult) Bench {
@@ -142,23 +149,48 @@ func benchPingPong(b *testing.B) {
 	}
 }
 
-// benchAllreduce measures a 64-rank simulated allreduce per op.
-func benchAllreduce(b *testing.B) {
-	b.ReportAllocs()
-	e := sim.New()
-	net := simnet.New(e, simnet.InfiniBand20G, 16)
-	w := mpi.NewWorld(e, net, 64, perf.Grid5000, nil)
-	w.LaunchAll("p", func(r *mpi.Rank) {
-		for i := 0; i < b.N; i++ {
-			if _, err := r.AllreduceScalar(r.World(), mpi.OpSum, 1); err != nil {
-				b.Error(err)
-				return
+// benchAllreduce measures an n-rank simulated allreduce per op (4 ranks
+// per node, the smoke-cluster density).
+func benchAllreduce(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.New()
+		net := simnet.New(e, simnet.InfiniBand20G, n/4)
+		w := mpi.NewWorld(e, net, n, perf.Grid5000, nil)
+		w.LaunchAll("p", func(r *mpi.Rank) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.AllreduceScalar(r.World(), mpi.OpSum, 1); err != nil {
+					b.Error(err)
+					return
+				}
 			}
+		})
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
 		}
-	})
-	b.ResetTimer()
-	if err := e.Run(); err != nil {
+	}
+}
+
+// benchPooledSweep measures one full pass of the smoke grid through the
+// pooled runner (SweepN reuses one engine + scratch across the grid's
+// specs, Reset between them) — the layer this PR's engine pooling
+// accelerates, as opposed to the per-collective micros above.
+func benchPooledSweep(b *testing.B) {
+	scs, err := smokeGrid()
+	if err != nil {
 		b.Fatal(err)
+	}
+	specs, err := experiments.SpecsFor(scs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SweepN(1, specs); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -261,14 +293,17 @@ func runJobstreamMacro(trials int) (Macro, error) {
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path")
 	reps := flag.Int("sweep-reps", 3, "repetitions of the smoke-grid sweep macro benchmark")
-	trials := flag.Int("trials", 100, "seeded trials for the campaign macro benchmark")
+	trials := flag.Int("trials", 1000, "seeded trials for the campaign macro benchmark (1000 amortizes the reference runs)")
 	jsTrials := flag.Int("jobstream-trials", 5, "seeded trials per cell for the jobstream macro benchmark")
+	minSpeedup := flag.Float64("min-speedup", 0, "exit nonzero if any speedup_vs_baseline throughput falls below this (0 disables)")
 	flag.Parse()
 
 	micro := []Bench{
 		toBench("engine-events", testing.Benchmark(benchEngineEvents)),
 		toBench("mpi-pingpong", testing.Benchmark(benchPingPong)),
-		toBench("allreduce-64", testing.Benchmark(benchAllreduce)),
+		toBench("allreduce-64", testing.Benchmark(benchAllreduce(64))),
+		toBench("allreduce-512", testing.Benchmark(benchAllreduce(512))),
+		toBench("pooled-sweep", testing.Benchmark(benchPooledSweep)),
 	}
 	speedup := make(map[string]Speedup, len(baseline))
 	for _, base := range baseline {
@@ -318,11 +353,30 @@ func main() {
 	}
 
 	for _, m := range micro {
-		fmt.Printf("%-16s %10.1f ns/op %6d allocs/op %8d B/op  (%.2fx vs baseline)\n",
-			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, speedup[m.Name].Throughput)
+		if s, ok := speedup[m.Name]; ok {
+			fmt.Printf("%-16s %10.1f ns/op %6d allocs/op %8d B/op  (%.2fx vs baseline)\n",
+				m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, s.Throughput)
+		} else {
+			fmt.Printf("%-16s %10.1f ns/op %6d allocs/op %8d B/op  (no baseline)\n",
+				m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+		}
 	}
 	for _, m := range macro {
 		fmt.Printf("%-20s %6d %s in %.2fs = %.1f/s\n", m.Name, m.Count, m.Units, m.Seconds, m.RatePerSec)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *minSpeedup > 0 {
+		bad := false
+		for name, s := range speedup {
+			if s.Throughput < *minSpeedup {
+				fmt.Fprintf(os.Stderr, "bench: %s regressed: %.3fx vs baseline < %.3fx floor\n",
+					name, s.Throughput, *minSpeedup)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+	}
 }

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/ckptsim"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/scenario"
@@ -607,6 +608,20 @@ func armTrials(cfg Config, scenarios []Scenario, trials int, templates []experim
 		p.horizons[i] = horizon
 		p.trialAt[i] = len(p.specs)
 		p.draws[i] = make([]fault.Draw, trials)
+		// Classic trials replay the scenario's recorded logical-op trace
+		// instead of re-executing the application: send-deterministic
+		// replication keeps the logical sequence crash-invariant, so one
+		// recording run serves every trial of the scenario. Intra trials
+		// keep executing for real — their section protocol reacts to
+		// failures below the trace boundary.
+		var replay *core.TraceSet
+		if sc.Point.Mode == scenario.Classic {
+			ts, err := experiments.RecordTraces(templates[i])
+			if err != nil {
+				return nil, fmt.Errorf("campaign: scenario %q: trace recording: %w", sc.Point.Name, err)
+			}
+			replay = ts
+		}
 		for t := 0; t < trials; t++ {
 			d := fault.ExponentialDraw(sc.Point.Logical, sc.Point.EffectiveDegree(), sc.MTBF, p.horizons[i],
 				fault.TrialSeed(cfg.Seed, i, t))
@@ -614,6 +629,13 @@ func armTrials(cfg Config, scenarios []Scenario, trials int, templates []experim
 			spec := templates[i]
 			spec.Name = fmt.Sprintf("%s/t%03d", sc.Point.Name, t)
 			spec.Fault = d.Schedule
+			// Trials stay on the unbatched world: compute batching collapses
+			// per-chunk wake events, which reorders same-instant event ties
+			// (NIC posting order at crash times among them), so faulty trials
+			// drift from the reference schedule by a few microseconds. Trace
+			// replay has no such effect — the op sequence and every park/wake
+			// instant are identical — so it is the only trial accelerator.
+			spec.Replay = replay
 			p.specs = append(p.specs, spec)
 		}
 	}

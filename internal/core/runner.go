@@ -149,6 +149,7 @@ type R struct {
 	engine    sectionEngine
 	machine   perf.Machine
 	costScale float64 // multiplies Value sizes for update transfers and copies
+	rec       *Trace  // non-nil while recording the logical-op trace
 	stats     Stats
 	inSection bool
 	secStart  sim.Time
@@ -185,21 +186,32 @@ func (r *R) Now() sim.Time { return r.rank().Now() }
 func (r *R) Mode() string { return r.engine.mode() }
 
 // Send performs a logical send.
-func (r *R) Send(dst, tag int, data []float64) error { return r.send(dst, tag, data) }
+func (r *R) Send(dst, tag int, data []float64) error {
+	r.rec.comm(traceSend, dst, tag, 8*int64(len(data)))
+	return r.send(dst, tag, data)
+}
 
 // SendSized performs a logical send with an explicit modeled payload size.
 func (r *R) SendSized(dst, tag int, data []float64, payloadBytes int64) error {
+	r.rec.comm(traceSend, dst, tag, payloadBytes)
 	return r.sendSized(dst, tag, data, payloadBytes)
 }
 
 // Recv performs a logical receive.
-func (r *R) Recv(src, tag int) ([]float64, error) { return r.recv(src, tag) }
+func (r *R) Recv(src, tag int) ([]float64, error) {
+	r.rec.comm(traceRecv, src, tag, 0)
+	return r.recv(src, tag)
+}
 
 // Allreduce reduces data across all logical ranks.
-func (r *R) Allreduce(op mpi.ReduceOp, data []float64) error { return r.allreduce(op, data) }
+func (r *R) Allreduce(op mpi.ReduceOp, data []float64) error {
+	r.rec.comm(traceAllreduce, len(data), 0, 0)
+	return r.allreduce(op, data)
+}
 
 // AllreduceScalar reduces a single value across all logical ranks.
 func (r *R) AllreduceScalar(op mpi.ReduceOp, v float64) (float64, error) {
+	r.rec.comm(traceAllreduce, 1, 0, 0)
 	buf := []float64{v}
 	if err := r.allreduce(op, buf); err != nil {
 		return 0, err
@@ -208,11 +220,16 @@ func (r *R) AllreduceScalar(op mpi.ReduceOp, v float64) (float64, error) {
 }
 
 // Barrier synchronizes all logical ranks.
-func (r *R) Barrier() error { return r.barrier() }
+func (r *R) Barrier() error {
+	r.rec.comm(traceBarrier, 0, 0, 0)
+	return r.barrier()
+}
 
 // Compute charges work performed outside sections.
 func (r *R) Compute(w perf.Work) {
-	r.stats.OutsideCompute += r.machine.Duration(w)
+	d := r.machine.Duration(w)
+	r.stats.OutsideCompute += d
+	r.rec.compute(d)
 	r.rank().ComputeWork(w)
 }
 
@@ -281,6 +298,7 @@ type taskCtx struct {
 func (c taskCtx) Compute(w perf.Work) {
 	d := c.r.machine.Duration(w)
 	c.r.stats.SectionCompute += d
+	c.r.rec.compute(d)
 	c.r.rank().Compute(d)
 }
 
@@ -297,6 +315,7 @@ func (r *R) runTaskLocally(t *task) {
 		if tag == InOut && t.copies[i] != nil {
 			d := r.machine.MemcpyDuration(r.scaledBytes(t.args[i]))
 			r.stats.CopyTime += d
+			r.rec.compute(d)
 			r.rank().Compute(d)
 			t.args[i].Restore(t.copies[i])
 		}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/testutil"
+)
+
+// rerunAllocs runs the same classic spec `times` times on one pooled
+// engine and scratch and returns the total allocation count. Differencing
+// two counts cancels engine construction and pool warm-up, leaving the
+// steady-state cost of one full spec rerun (world build, replica launch,
+// application run, reclaim).
+func rerunAllocs(t *testing.T, times int) float64 {
+	t.Helper()
+	s := Spec{Name: "rerun", Mode: Classic, Logical: 4, App: HPCCG(smallHPCCG(2))}
+	return testing.AllocsPerRun(2, func() {
+		eng := sim.NewPooled()
+		defer eng.Shutdown()
+		sc := mpi.NewScratch()
+		for i := 0; i < times; i++ {
+			eng.Reset()
+			if _, err := runSpec(eng, sc, s); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// TestPooledRerunAllocBudget pins the pooled-runner path: once the worker's
+// engine and scratch are warm, each additional spec rerun must reuse the
+// event nodes, goroutines, channel states and message buffers of its
+// predecessors. Before engine pooling a rerun of this spec allocated well
+// over 100k objects; the 8000 budget holds the steady state an order of
+// magnitude below that so a pool regression (a Reclaim path dropped, a
+// freelist bypassed) fails loudly rather than melting into GC noise.
+func TestPooledRerunAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	const span = 6
+	perRun := (rerunAllocs(t, 2+span) - rerunAllocs(t, 2)) / span
+	t.Logf("allocs per pooled spec rerun: %.0f", perRun)
+	if perRun > 8000 {
+		t.Fatalf("pooled spec rerun allocates %.0f objects, budget 8000", perRun)
+	}
+}

@@ -40,6 +40,25 @@ type ClusterConfig struct {
 	Machine   perf.Machine
 	SendLog   bool         // enable crash coverage logs (off for perf runs)
 	IntraOpts core.Options // options for the intra engine
+
+	// Engine, when non-nil, is the simulation engine to build the cluster
+	// on instead of a fresh one — the hook the pooled sweep runner uses to
+	// reuse one engine (event free lists, process goroutines) across many
+	// spec runs. The caller owns its lifecycle: it must be freshly created
+	// or Reset, and Reset again before any reuse.
+	Engine *sim.Engine
+
+	// Scratch, when non-nil, is a shared mpi free-list bundle the world
+	// draws from (mpi.World.UseScratch) — the pooled runner's counterpart
+	// to Engine for the message layer. Worlds sharing a scratch must run
+	// sequentially on one goroutine.
+	Scratch *mpi.Scratch
+
+	// BatchCompute builds the world with deferred compute accounting
+	// (mpi.World.SetBatchedCompute): identical simulated outcomes, far
+	// fewer engine events. Leave off when the engine's event count is part
+	// of the tracked output.
+	BatchCompute bool
 }
 
 // DefaultPlatform returns the Grid'5000-like platform of §V-B.
@@ -84,10 +103,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Mode.Replicated() {
 		phys *= cfg.Degree
 	}
-	e := sim.New()
+	e := cfg.Engine
+	if e == nil {
+		e = sim.New()
+	}
 	nodes := (phys + cfg.Net.CoresPerNode - 1) / cfg.Net.CoresPerNode
 	net := simnet.New(e, cfg.Net, nodes)
 	w := mpi.NewWorld(e, net, phys, cfg.Machine, nil)
+	if cfg.Scratch != nil {
+		w.UseScratch(cfg.Scratch)
+	}
+	w.SetBatchedCompute(cfg.BatchCompute)
 	c := &Cluster{Cfg: cfg, E: e, W: w}
 	if cfg.Mode.Replicated() {
 		c.Sys = replication.New(w, replication.Config{

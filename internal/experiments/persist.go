@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/apps/apputil"
 	"repro/internal/core"
+	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -76,9 +77,9 @@ func decodeResult(raw json.RawMessage) (Result, bool) {
 // keyed and cached, from a fresh simulation otherwise. Fresh results of
 // keyed specs are persisted, so the next process (or the merge run) hits.
 // The bool reports whether the store served the point.
-func runOrLoad(st *store.Store, s Spec, key string) (Result, bool, error) {
+func runOrLoad(eng *sim.Engine, sc *mpi.Scratch, st *store.Store, s Spec, key string) (Result, bool, error) {
 	if st == nil || key == "" {
-		r, err := runSpec(s)
+		r, err := runSpec(eng, sc, s)
 		return r, false, err
 	}
 	addr := store.Key(key)
@@ -87,7 +88,7 @@ func runOrLoad(st *store.Store, s Spec, key string) (Result, bool, error) {
 			return r, true, nil
 		}
 	}
-	r, err := runSpec(s)
+	r, err := runSpec(eng, sc, s)
 	if err != nil {
 		return Result{}, false, err
 	}
@@ -140,13 +141,13 @@ func PopulateStore(workers int, st *store.Store, sh store.Shard, specs []Spec) (
 	errs := make([]error, len(uniq))
 	var hits, simulated atomic.Int64
 	Progress.Plan(stats.Owned)
-	forEachUnique(workers, len(uniq), func(j int) {
+	forEachUnique(workers, len(uniq), func(eng *sim.Engine, sc *mpi.Scratch, j int) {
 		if !owned[j] {
 			return
 		}
 		defer Progress.Done()
 		var hit bool
-		runs[j], hit, errs[j] = runOrLoad(st, uniq[j], keys[j])
+		runs[j], hit, errs[j] = runOrLoad(eng, sc, st, uniq[j], keys[j])
 		if errs[j] != nil {
 			return
 		}

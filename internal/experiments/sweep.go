@@ -15,6 +15,7 @@ import (
 	"repro/internal/apps/minighost"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/mpi"
 	"repro/internal/perf"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -92,6 +93,26 @@ type Spec struct {
 	// identical schedules — in particular, fault-free draws — are simulated
 	// once.
 	Fault *fault.Schedule
+
+	// BatchCompute runs the point on a batched-compute world: compute-only
+	// stretches between communications collapse into one engine event
+	// instead of one per kernel. Simulated outcomes (every virtual time,
+	// every message, every crash consequence) are identical to the
+	// unbatched run; only the diagnostic SimEvents counter shrinks. It is
+	// therefore an execution strategy, not a semantic parameter, and is
+	// excluded from the memo key — callers that serialize SimEvents (the
+	// JSON sweep reports) must leave it off.
+	BatchCompute bool
+
+	// Replay, when non-nil, substitutes the application's main with a
+	// replay of the recorded logical-op traces (RecordTraces): the
+	// simulated makespan, crash consequences and physical layout are
+	// identical to executing the application, but its kernels never run.
+	// Like BatchCompute it is an execution strategy excluded from the memo
+	// key; unlike it, app-internal diagnostics (kernel timings, section
+	// stats, per-arg update bytes) are not re-derived, so only callers
+	// that consume timing aggregates — the failure campaigns — may arm it.
+	Replay *core.TraceSet
 }
 
 // key returns the memo fingerprint of the spec — the canonical JSON
@@ -296,8 +317,14 @@ func dedupe(specs []Spec) (uniq []Spec, keys []string, uniqOf []int) {
 	return uniq, keys, uniqOf
 }
 
-// forEachUnique runs fn(j) for j in [0, n) on a pool of workers.
-func forEachUnique(workers, n int, fn func(j int)) {
+// forEachUnique runs fn(eng, sc, j) for j in [0, n) on a pool of workers.
+// Each worker owns one pooled simulation engine and one mpi scratch for its
+// whole lifetime: fn receives the engine Reset (time zero, empty queue,
+// goroutines parked in the idle pool) and the scratch warm, so consecutive
+// specs on a worker reuse the engine's event free list, its process
+// goroutines and the message layer's request/message/transfer pools instead
+// of rebuilding them per spec.
+func forEachUnique(workers, n int, fn func(eng *sim.Engine, sc *mpi.Scratch, j int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -311,12 +338,16 @@ func forEachUnique(workers, n int, fn func(j int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			eng := sim.NewPooled()
+			defer eng.Shutdown()
+			sc := mpi.NewScratch()
 			for {
 				j := int(next.Add(1))
 				if j >= n {
 					return
 				}
-				fn(j)
+				eng.Reset()
+				fn(eng, sc, j)
 			}
 		}()
 	}
@@ -336,8 +367,8 @@ func SweepStore(workers int, st *store.Store, specs []Spec) ([]Result, error) {
 	runs := make([]Result, len(uniq))
 	errs := make([]error, len(uniq))
 	Progress.Plan(len(uniq))
-	forEachUnique(workers, len(uniq), func(j int) {
-		runs[j], _, errs[j] = runOrLoad(st, uniq[j], keys[j])
+	forEachUnique(workers, len(uniq), func(eng *sim.Engine, sc *mpi.Scratch, j int) {
+		runs[j], _, errs[j] = runOrLoad(eng, sc, st, uniq[j], keys[j])
 		Progress.Done()
 	})
 
@@ -368,10 +399,18 @@ func SweepStore(workers int, st *store.Store, specs []Spec) ([]Result, error) {
 	return out, nil
 }
 
-// runSpec simulates one sweep point on a fresh engine.
-func runSpec(s Spec) (Result, error) {
+// runSpec simulates one sweep point. eng, when non-nil, is a Reset pooled
+// engine supplied by the worker pool, and sc an mpi scratch shared across
+// the worker's specs; nil runs on private ones. The simulated outcome is
+// identical either way — reuse recycles event nodes, goroutines and message
+// buffers, never state the simulation can observe.
+func runSpec(eng *sim.Engine, sc *mpi.Scratch, s Spec) (Result, error) {
 	if s.App.main == nil {
 		return Result{}, fmt.Errorf("spec %q has no application", s.Name)
+	}
+	main := s.App.main
+	if s.Replay != nil {
+		main = replayMain(s.Replay)
 	}
 	crashes := 0
 	if s.Fault != nil {
@@ -385,6 +424,7 @@ func runSpec(s Spec) (Result, error) {
 		Logical: s.Logical, Mode: s.Mode, Degree: s.Degree,
 		Net: s.Net, Machine: s.Machine, IntraOpts: s.Opts,
 		SendLog: crashes > 0,
+		Engine:  eng, Scratch: sc, BatchCompute: s.BatchCompute,
 	})
 	if err != nil {
 		return Result{}, err
@@ -400,7 +440,7 @@ func runSpec(s Spec) (Result, error) {
 	// makespan), and those no-op events must not stretch the measured run.
 	var lastEnd sim.Time
 	c.Launch(func(rt core.Runner) {
-		total, kernels, st, err := s.App.main(rt)
+		total, kernels, st, err := main(rt)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("rank %d: %w", rt.LogicalRank(), err)
@@ -414,6 +454,11 @@ func runSpec(s Spec) (Result, error) {
 	})
 	if _, err := c.Run(); err != nil {
 		return Result{}, err
+	}
+	if sc != nil {
+		// The world dies with this call; hand its pooled inventory back to
+		// the worker's scratch so the next spec starts warm.
+		c.W.Reclaim()
 	}
 	if firstErr != nil {
 		return Result{}, firstErr

@@ -171,7 +171,7 @@ type Draw struct {
 // (TestExponentialDrawLaneBias): which lane survives changes every drawn
 // schedule, so it must not drift accidentally.
 func ExponentialDraw(logical, degree int, mtbf, horizon sim.Time, seed int64) Draw {
-	rng := rand.New(rand.NewSource(seed))
+	rng := newRand(seed)
 	d := Draw{Schedule: &Schedule{}}
 	killed := make(map[int]int) // logical -> kills so far
 	for r := 0; r < logical; r++ {
@@ -208,7 +208,7 @@ func ExponentialDrawUnclamped(logical, degree int, mtbf, horizon sim.Time, seed 
 	d := Draw{Schedule: &Schedule{}}
 	for r := 0; r < logical; r++ {
 		for l := 0; l < degree; l++ {
-			rng := rand.New(rand.NewSource(TrialSeed(seed, r, l)))
+			rng := newRand(TrialSeed(seed, r, l))
 			for t := expStep(rng, mtbf); t < horizon; t += expStep(rng, mtbf) {
 				d.Schedule.Crashes = append(d.Schedule.Crashes, Crash{Logical: r, Lane: l, Time: t})
 			}

@@ -1,0 +1,49 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The whole point of lfgSource is bit-identical streams: campaign fault
+// schedules are pinned by goldens, so the fast source must be
+// indistinguishable from rand.New(rand.NewSource(seed)).
+func TestLFGSourceMatchesStdlib(t *testing.T) {
+	seeds := []int64{0, 1, -1, 42, 89482311, 1 << 31, -(1 << 35), 6364136223846793005}
+	for _, base := range []int64{0, 17} {
+		seeds = append(seeds, TrialSeed(base, 3, 11))
+	}
+	for _, seed := range seeds {
+		want := rand.NewSource(seed).(rand.Source64)
+		got := &lfgSource{}
+		got.Seed(seed)
+		for i := 0; i < 2500; i++ {
+			if g, w := got.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("seed %d: Uint64 #%d = %d, stdlib %d", seed, i, g, w)
+			}
+		}
+	}
+	// And through rand.Rand, the consumer the campaigns actually use.
+	for _, seed := range seeds {
+		want := rand.New(rand.NewSource(seed))
+		got := newRand(seed)
+		for i := 0; i < 500; i++ {
+			if g, w := got.ExpFloat64(), want.ExpFloat64(); g != w {
+				t.Fatalf("seed %d: ExpFloat64 #%d = %v, stdlib %v", seed, i, g, w)
+			}
+		}
+	}
+}
+
+func BenchmarkSeedLFG(b *testing.B) {
+	s := &lfgSource{}
+	for i := 0; i < b.N; i++ {
+		s.Seed(int64(i))
+	}
+}
+
+func BenchmarkSeedStdlib(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rand.NewSource(int64(i))
+	}
+}

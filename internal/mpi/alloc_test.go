@@ -67,3 +67,63 @@ func TestPingPongAllocBudget(t *testing.T) {
 		t.Fatalf("ping-pong round allocates %.2f objects, budget 12", perRound)
 	}
 }
+
+// collAllocs runs `rounds` back-to-back collectives on an n-rank world and
+// returns the total allocation count. As with pingPongAllocs, callers
+// difference two round counts so world construction and the pool's warm-up
+// rounds cancel out and only the steady-state per-operation cost remains.
+func collAllocs(t *testing.T, n, rounds int, op func(r *Rank, buf []float64) error) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		e := sim.New()
+		net := simnet.New(e, simnet.InfiniBand20G, n)
+		w := NewWorld(e, net, n, perf.Grid5000, nil)
+		w.LaunchAll("coll", func(r *Rank) {
+			buf := make([]float64, 8)
+			for i := 0; i < rounds; i++ {
+				if err := op(r, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestCollectiveAllocBudgets pins the pooled collective state machines:
+// once the scratch pools are warm, a whole barrier, broadcast or allreduce
+// must cost at most a handful of allocations per rank per operation. The
+// blocking pre-refactor implementation spent hundreds per allreduce-64;
+// the budget of 8 allocs/op (the acceptance bar for allreduce-64) keeps
+// the event-driven rewrite honest at both ends of the size range.
+func TestCollectiveAllocBudgets(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	cases := []struct {
+		name string
+		n    int
+		op   func(r *Rank, buf []float64) error
+	}{
+		{"barrier-8", 8, func(r *Rank, _ []float64) error { return r.Barrier(r.World()) }},
+		{"barrier-64", 64, func(r *Rank, _ []float64) error { return r.Barrier(r.World()) }},
+		{"bcast-8", 8, func(r *Rank, buf []float64) error { return r.Bcast(r.World(), 0, buf) }},
+		{"bcast-64", 64, func(r *Rank, buf []float64) error { return r.Bcast(r.World(), 0, buf) }},
+		{"allreduce-8", 8, func(r *Rank, buf []float64) error { return r.Allreduce(r.World(), OpSum, buf) }},
+		{"allreduce-64", 64, func(r *Rank, buf []float64) error { return r.Allreduce(r.World(), OpSum, buf) }},
+	}
+	const span = 60
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			perOp := (collAllocs(t, tc.n, 20+span, tc.op) - collAllocs(t, tc.n, 20, tc.op)) / span
+			perRankOp := perOp / float64(tc.n)
+			t.Logf("%s: %.2f allocs per collective (%.3f per rank)", tc.name, perOp, perRankOp)
+			if perRankOp > 8 {
+				t.Fatalf("%s allocates %.2f objects per rank per op, budget 8", tc.name, perRankOp)
+			}
+		})
+	}
+}

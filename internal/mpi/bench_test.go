@@ -1,0 +1,36 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// benchAllreduce measures an n-rank simulated allreduce per op (4 ranks per
+// node), in-package so the collective state machines can be profiled without
+// going through cmd/bench.
+func benchAllreduce(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.New()
+		net := simnet.New(e, simnet.InfiniBand20G, n/4)
+		w := NewWorld(e, net, n, perf.Grid5000, nil)
+		w.LaunchAll("r", func(r *Rank) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.AllreduceScalar(r.World(), OpSum, float64(r.Rank())); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllreduce64(b *testing.B)  { benchAllreduce(64)(b) }
+func BenchmarkAllreduce512(b *testing.B) { benchAllreduce(512)(b) }

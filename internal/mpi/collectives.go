@@ -29,19 +29,13 @@ var (
 	}
 )
 
-// Collective tags live in the negative tag space so they can never collide
-// with user tags (which must be non-negative). Each collective call on a
-// communicator advances a per-member round counter; members must therefore
-// invoke collectives in the same order, as in MPI.
-func (c *Comm) collTag(r *Rank, op int) int {
-	me := c.CommRank(r.st.rank)
-	if me < 0 {
-		panic(fmt.Sprintf("mpi: rank %d not a member of communicator %d", r.st.rank, c.id))
-	}
-	c.rounds[me]++
-	return -(op<<24 | (c.rounds[me] & 0xffffff))
-}
-
+// Collective operation codes. Each operation uses the fixed tag -op, in the
+// negative tag space so it can never collide with user tags (which must be
+// non-negative). Rounds need no tag disambiguation: members invoke
+// collectives on a communicator in the same order (as in MPI) and matching
+// is FIFO per (source, tag, communicator) channel, so successive rounds
+// self-match — and the bounded tag space keeps the per-rank matching maps,
+// and their allocations, bounded no matter how many collectives run.
 const (
 	opBarrier = iota + 1
 	opBcast
@@ -51,173 +45,120 @@ const (
 	opGather
 )
 
+func errNotMember(rank, comm int) string {
+	return fmt.Sprintf("mpi: rank %d not a member of communicator %d", rank, comm)
+}
+
 // Barrier blocks until all members have entered it (dissemination
 // algorithm, O(log n) rounds).
 func (r *Rank) Barrier(c *Comm) error {
-	tag := c.collTag(r, opBarrier)
-	n := c.Size()
-	if n == 1 {
+	sm := r.startColl(c, opBarrier)
+	if sm.n == 1 {
+		sm.release()
 		return nil
 	}
-	me := c.CommRank(r.st.rank)
-	for k := 1; k < n; k <<= 1 {
-		to := (me + k) % n
-		from := (me - k + n) % n
-		sreq := r.Isend(c, to, tag, nil, nil)
-		if _, err := r.Recv(c, from, tag); err != nil {
-			return err
-		}
-		if err := r.Wait(sreq); err != nil {
-			return err
-		}
-	}
-	return nil
+	sm.dist = 1
+	return r.runColl(sm)
 }
 
 // Bcast broadcasts data from root to all members using a binomial tree.
 // Non-root callers pass a buffer of the correct length that is filled in.
 func (r *Rank) Bcast(c *Comm, root int, data []float64) error {
-	tag := c.collTag(r, opBcast)
-	n := c.Size()
-	if n == 1 {
+	sm := r.startColl(c, opBcast)
+	if sm.n == 1 {
+		sm.release()
 		return nil
 	}
-	me := c.CommRank(r.st.rank)
-	// Rotate so the root is virtual rank 0.
-	vrank := (me - root + n) % n
-	if vrank != 0 {
-		// Receive from parent.
-		mask := 1
-		for vrank&mask == 0 {
-			mask <<= 1
-		}
-		parent := ((vrank - mask + n) % n)
-		msg, err := r.Recv(c, (parent+root)%n, tag)
-		if err != nil {
-			return err
-		}
-		copy(data, msg.Data)
-	}
-	// Forward to children.
-	mask := 1
-	for vrank&mask == 0 && mask < n {
-		mask <<= 1
-	}
-	// children are vrank + m for m in {mask>>1, mask>>2, ...}? Use standard
-	// binomial: for m := highest power of two below n down to 1.
-	for m := mask >> 1; m >= 1; m >>= 1 {
-		child := vrank + m
-		if child < n {
-			if err := r.Send(c, (child+root)%n, tag, data, nil); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	sm.root = root
+	sm.vrank = (sm.me - root + sm.n) % sm.n
+	sm.data = data
+	return r.runColl(sm)
 }
 
 // Reduce combines each member's data into root's data using op (binomial
 // tree). data is modified in place on all ranks (it is used as the local
 // accumulation buffer); only root's final value is meaningful.
 func (r *Rank) Reduce(c *Comm, root int, op ReduceOp, data []float64) error {
-	tag := c.collTag(r, opReduce)
-	n := c.Size()
-	if n == 1 {
+	sm := r.startColl(c, opReduce)
+	if sm.n == 1 {
+		sm.release()
 		return nil
 	}
-	me := c.CommRank(r.st.rank)
-	vrank := (me - root + n) % n
-	for mask := 1; mask < n; mask <<= 1 {
-		if vrank&mask != 0 {
-			parent := vrank - mask
-			return r.Send(c, (parent+root)%n, tag, data, nil)
-		}
-		child := vrank + mask
-		if child < n {
-			msg, err := r.Recv(c, (child+root)%n, tag)
-			if err != nil {
-				return err
-			}
-			op(data, msg.Data)
-		}
-	}
-	return nil
+	sm.root = root
+	sm.vrank = (sm.me - root + sm.n) % sm.n
+	sm.data = data
+	sm.rop = op
+	sm.mask = 1
+	return r.runColl(sm)
 }
 
 // Allreduce combines data across all members and leaves the result in data
-// on every member (reduce-to-0 then broadcast).
+// on every member (reduce-to-0 then broadcast, chained inside one state
+// machine so the caller parks at most once).
 func (r *Rank) Allreduce(c *Comm, op ReduceOp, data []float64) error {
-	if err := r.Reduce(c, 0, op, data); err != nil {
-		return err
+	sm := r.startColl(c, opAllreduce)
+	if sm.n == 1 {
+		sm.release()
+		return nil
 	}
-	return r.Bcast(c, 0, data)
+	sm.sub = opReduce
+	sm.tag = -opReduce
+	sm.root = 0
+	sm.vrank = sm.me
+	sm.data = data
+	sm.rop = op
+	sm.mask = 1
+	return r.runColl(sm)
 }
 
-// AllreduceScalar is a convenience wrapper for single-value reductions.
+// AllreduceScalar is a convenience wrapper for single-value reductions. The
+// rank's scratch cell backs the reduction, so the call allocates nothing.
 func (r *Rank) AllreduceScalar(c *Comm, op ReduceOp, v float64) (float64, error) {
-	buf := []float64{v}
-	if err := r.Allreduce(c, op, buf); err != nil {
+	st := r.st
+	st.scalar[0] = v
+	if err := r.Allreduce(c, op, st.scalar[:]); err != nil {
 		return 0, err
 	}
-	return buf[0], nil
+	return st.scalar[0], nil
 }
 
 // Allgather concatenates each member's equally-sized contribution into out
 // (length = len(contrib) * comm size) on every member, using a ring.
 func (r *Rank) Allgather(c *Comm, contrib, out []float64) error {
-	tag := c.collTag(r, opAllgather)
-	n := c.Size()
+	sm := r.startColl(c, opAllgather)
 	k := len(contrib)
-	if len(out) != n*k {
+	if len(out) != sm.n*k {
+		n := sm.n
+		sm.release()
 		return fmt.Errorf("mpi: allgather out length %d, want %d", len(out), n*k)
 	}
-	me := c.CommRank(r.st.rank)
-	copy(out[me*k:(me+1)*k], contrib)
-	if n == 1 {
+	copy(out[sm.me*k:(sm.me+1)*k], contrib)
+	if sm.n == 1 {
+		sm.release()
 		return nil
 	}
-	right := (me + 1) % n
-	left := (me - 1 + n) % n
-	// Ring: in step s we forward the block originated by (me-s).
-	for s := 0; s < n-1; s++ {
-		blk := (me - s + n) % n
-		sreq := r.Isend(c, right, tag, out[blk*k:(blk+1)*k], nil)
-		msg, err := r.Recv(c, left, tag)
-		if err != nil {
-			return err
-		}
-		inBlk := (me - s - 1 + n) % n
-		copy(out[inBlk*k:(inBlk+1)*k], msg.Data)
-		if err := r.Wait(sreq); err != nil {
-			return err
-		}
-	}
-	return nil
+	sm.elems = k
+	sm.out = out
+	return r.runColl(sm)
 }
 
 // Gather collects each member's equally-sized contribution at root into out
 // (length = len(contrib) * comm size at root; ignored elsewhere).
 func (r *Rank) Gather(c *Comm, root int, contrib, out []float64) error {
-	tag := c.collTag(r, opGather)
-	n := c.Size()
-	me := c.CommRank(r.st.rank)
-	if me != root {
-		return r.Send(c, root, tag, contrib, me)
+	sm := r.startColl(c, opGather)
+	sm.root = root
+	if sm.me != root {
+		sm.contrib = contrib
+		return r.runColl(sm)
 	}
 	k := len(contrib)
-	if len(out) != n*k {
+	if len(out) != sm.n*k {
+		n := sm.n
+		sm.release()
 		return fmt.Errorf("mpi: gather out length %d, want %d", len(out), n*k)
 	}
-	copy(out[me*k:(me+1)*k], contrib)
-	for i := 0; i < n; i++ {
-		if i == root {
-			continue
-		}
-		msg, err := r.Recv(c, i, tag)
-		if err != nil {
-			return err
-		}
-		copy(out[i*k:(i+1)*k], msg.Data)
-	}
-	return nil
+	copy(out[sm.me*k:(sm.me+1)*k], contrib)
+	sm.elems = k
+	sm.out = out
+	return r.runColl(sm)
 }

@@ -26,23 +26,23 @@ type Comm struct {
 	id      int
 	w       *World
 	members []int       // comm rank -> world rank
-	pos     map[int]int // world rank -> comm rank
-	rounds  []int       // per-member collective round counter
+	pos     map[int]int // world rank -> comm rank, built on first CommRank
 }
 
 // newComm builds a communicator over world ranks (callers must pass a slice
-// they will not mutate).
+// they will not mutate). The reverse index is lazy: most communicators —
+// every per-trial world and replica comm of a campaign — only ever
+// translate comm ranks to world ranks, so they never pay for the map.
 func (w *World) newComm(members []int) *Comm {
 	w.commSeq++
-	c := &Comm{id: w.commSeq, w: w, members: members, pos: make(map[int]int, len(members))}
-	for i, wr := range members {
-		if _, dup := c.pos[wr]; dup {
-			panic(fmt.Sprintf("mpi: duplicate member %d in communicator", wr))
+	for i, a := range members {
+		for _, b := range members[:i] {
+			if a == b {
+				panic(fmt.Sprintf("mpi: duplicate member %d in communicator", a))
+			}
 		}
-		c.pos[wr] = i
 	}
-	c.rounds = make([]int, len(members))
-	return c
+	return &Comm{id: w.commSeq, w: w, members: members}
 }
 
 // NewComm creates a communicator over the given world ranks. All members
@@ -59,6 +59,12 @@ func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
 
 // CommRank translates a world rank to a comm rank, or -1 if not a member.
 func (c *Comm) CommRank(worldRank int) int {
+	if c.pos == nil {
+		c.pos = make(map[int]int, len(c.members))
+		for i, wr := range c.members {
+			c.pos[wr] = i
+		}
+	}
 	if p, ok := c.pos[worldRank]; ok {
 		return p
 	}

@@ -27,8 +27,10 @@ func (r *Rank) World() *Comm { return r.st.w.world }
 // Node returns the node this rank is placed on.
 func (r *Rank) Node() int { return r.st.node }
 
-// Now returns the current virtual time.
-func (r *Rank) Now() sim.Time { return r.p.Now() }
+// Now returns the current virtual time. On a batched-compute world this
+// includes the rank's deferred compute, so timing measurements see the
+// exact schedule an unbatched run would produce.
+func (r *Rank) Now() sim.Time { return r.p.Now() + r.st.pending }
 
 // Proc returns the underlying simulated process.
 func (r *Rank) Proc() *sim.Proc { return r.p }
@@ -39,10 +41,28 @@ func (r *Rank) Stats() Stats { return r.st.stats }
 // Machine returns the world's per-core compute model.
 func (r *Rank) Machine() perf.Machine { return r.st.w.machine }
 
-// Compute charges d of virtual CPU time to this rank.
+// Compute charges d of virtual CPU time to this rank. On a batched-compute
+// world the charge is deferred: consecutive compute stretches collapse into
+// one Sleep at the next communication instead of entering the event queue
+// per kernel.
 func (r *Rank) Compute(d sim.Time) {
 	r.st.stats.Compute += d
+	if r.st.w.batch {
+		r.st.pending += d
+		return
+	}
 	r.p.Sleep(d)
+}
+
+// flush realizes deferred compute time. Every operation whose outcome can
+// depend on the current instant calls it first, so a batched world makes
+// exactly the same externally visible transitions, at the same virtual
+// times, as an unbatched one.
+func (r *Rank) flush() {
+	if d := r.st.pending; d > 0 {
+		r.st.pending = 0
+		r.p.Sleep(d)
+	}
 }
 
 // ComputeWork charges the virtual time of w under the world's machine model.
@@ -52,10 +72,16 @@ func (r *Rank) ComputeWork(w perf.Work) {
 
 // Crash crash-stops the calling rank (used by fault injection callbacks
 // running inside the rank's program).
-func (r *Rank) Crash() { r.p.Crash() }
+func (r *Rank) Crash() {
+	r.flush()
+	r.p.Crash()
+}
 
 // Dead reports whether another rank has crashed.
-func (r *Rank) Dead(rank int) bool { return r.st.w.ranks[rank].dead }
+func (r *Rank) Dead(rank int) bool {
+	r.flush()
+	return r.st.w.ranks[rank].dead
+}
 
 // Request is a handle on a nonblocking operation. The completion future is
 // embedded by value and send completion is scheduled with the request
@@ -64,7 +90,8 @@ func (r *Rank) Dead(rank int) bool { return r.st.w.ranks[rank].dead }
 type Request struct {
 	id     uint64
 	st     *rankState
-	key    matchKey // receive matching key (recv only)
+	ch     *chanState // receive channel state (recv only)
+	key    matchKey   // receive matching key (recv only)
 	isRecv bool
 	fut    sim.Future
 	msg    *Message
@@ -74,10 +101,25 @@ type Request struct {
 func newRequest(st *rankState, isRecv bool, key matchKey) *Request {
 	// The id sequence lives on the World (not in a package variable) so
 	// that independent worlds — e.g. one per sweep worker — never share
-	// mutable state and stay individually deterministic.
-	st.w.reqSeq++
-	rq := &Request{id: st.w.reqSeq, st: st, isRecv: isRecv, key: key}
-	rq.fut.Init(st.w.e)
+	// mutable state and stay individually deterministic. Requests are drawn
+	// from the world pool; paths where the handle provably does not escape
+	// (blocking Send/Recv, the collective state machines) return them.
+	w := st.w
+	sc := w.sc
+	var rq *Request
+	if n := len(sc.reqFree); n > 0 {
+		rq = sc.reqFree[n-1]
+		sc.reqFree[n-1] = nil
+		sc.reqFree = sc.reqFree[:n-1]
+		rq.st = st
+		rq.isRecv = isRecv
+		rq.key = key
+	} else {
+		rq = &Request{st: st, isRecv: isRecv, key: key}
+	}
+	w.reqSeq++
+	rq.id = w.reqSeq
+	rq.fut.Init(w.e)
 	return rq
 }
 
@@ -122,6 +164,7 @@ func (r *Rank) Isend(c *Comm, dst, tag int, data []float64, meta any) *Request {
 // IsendOwned is Isend without the defensive copy: ownership of data
 // transfers to the runtime. Use when the caller has already cloned.
 func (r *Rank) IsendOwned(c *Comm, dst, tag int, data []float64, meta any) *Request {
+	r.flush()
 	return r.st.isendOwned(c, dst, tag, data, meta)
 }
 
@@ -130,6 +173,7 @@ func (r *Rank) IsendOwned(c *Comm, dst, tag int, data []float64, meta any) *Requ
 // of the modeled problem (data is still copied; the envelope is added on
 // top of payloadBytes).
 func (r *Rank) IsendSized(c *Comm, dst, tag int, data []float64, meta any, payloadBytes int64) *Request {
+	r.flush()
 	buf := make([]float64, len(data))
 	copy(buf, data)
 	return r.st.isendSized(c, dst, tag, buf, meta, payloadBytes)
@@ -146,11 +190,23 @@ func (st *rankState) isendOwned(c *Comm, dst, tag int, data []float64, meta any)
 	return st.isendSized(c, dst, tag, data, meta, 8*int64(len(data)))
 }
 
+// sendSeqFor returns the per-channel send sequence for the next message on
+// (st.rank, tag, c). Collective tags (negative) are single-shot — at most
+// one message per channel — so their sequence is constantly 1 and no
+// sender-side channel state is materialized for them at all.
+func (st *rankState) sendSeqFor(c *Comm, tag int) uint64 {
+	if tag < 0 {
+		return 1
+	}
+	sendCh := st.chanFor(matchKey{src: st.rank, tag: tag, comm: c.id})
+	sendCh.sendSeq++
+	return sendCh.sendSeq
+}
+
 func (st *rankState) isendSized(c *Comm, dst, tag int, data []float64, meta any, payloadBytes int64) *Request {
 	w := st.w
 	worldDst := c.WorldRank(dst)
 	key := matchKey{src: st.rank, tag: tag, comm: c.id}
-	st.sendSeq[key]++
 	msg := &Message{
 		Src:   st.rank,
 		Dst:   worldDst,
@@ -158,7 +214,7 @@ func (st *rankState) isendSized(c *Comm, dst, tag int, data []float64, meta any,
 		Data:  data,
 		Meta:  meta,
 		Bytes: envelopeBytes + payloadBytes,
-		seq:   st.sendSeq[key],
+		seq:   st.sendSeqFor(c, tag),
 	}
 	req := newRequest(st, false, matchKey{})
 	st.stats.MsgsSent++
@@ -179,12 +235,95 @@ func (st *rankState) isendSized(c *Comm, dst, tag int, data []float64, meta any,
 		w.e.AtTimer(tr.TxDone(), req)
 		return req
 	}
-	dstState.inflight[key]++
-	om := &outMsg{dstSt: dstState, msg: msg, dst: worldDst, key: key}
+	dstCh := dstState.chanFor(key)
+	dstCh.inflight++
+	om := w.getOutMsg()
+	om.dstSt = dstState
+	om.dstCh = dstCh
+	om.msg = msg
+	om.dst = worldDst
+	om.key = key
 	w.net.SendInto(&om.tr, st.node, dstState.node, msg.Bytes, om)
 	st.outgoing = append(st.outgoing, om)
 	st.pruneOutgoing()
 	w.e.AtTimer(om.tr.TxDone(), req)
+	return req
+}
+
+// isendColl posts a collective send: like isendOwned, but the request,
+// message and payload buffer all come from the world pools (the matching
+// collective receive recycles them), so steady-state collectives allocate
+// nothing. Collective messages carry no Meta.
+func (st *rankState) isendColl(c *Comm, dst, tag int, data []float64) *Request {
+	return st.isendPooled(c, dst, tag, data, nil, 8*int64(len(data)))
+}
+
+// isendPooled is the pooled-message send: payload is copied into a pooled
+// buffer and the Message itself comes from the world pool. Timing-wise it is
+// exactly isendSized; the only difference is allocation discipline, so it is
+// reserved for traffic whose receiver consumes the message and hands it back
+// (mpi-level collectives, the replication layer's internal trees).
+func (st *rankState) isendPooled(c *Comm, dst, tag int, data []float64, meta any, payloadBytes int64) *Request {
+	w := st.w
+	worldDst := c.WorldRank(dst)
+	key := matchKey{src: st.rank, tag: tag, comm: c.id}
+	seq := st.sendSeqFor(c, tag)
+	bytes := envelopeBytes + payloadBytes
+	req := newRequest(st, false, matchKey{})
+	st.stats.MsgsSent++
+	st.stats.BytesSent += bytes
+	dstState := w.ranks[worldDst]
+	if dstState.dead {
+		// Same modeling as isendSized's dead-destination path (which see),
+		// minus the message object nobody would ever observe.
+		var tr simnet.Transfer
+		w.net.SendInto(&tr, st.node, dstState.node, bytes, nopTimer{})
+		w.e.AtTimer(tr.TxDone(), req)
+		return req
+	}
+	msg := w.getMessage(len(data))
+	copy(msg.Data, data)
+	msg.Src = st.rank
+	msg.Dst = worldDst
+	msg.Tag = tag
+	msg.Meta = meta
+	msg.Bytes = bytes
+	msg.seq = seq
+	dstCh := dstState.chanFor(key)
+	dstCh.inflight++
+	om := w.getOutMsg()
+	om.dstSt = dstState
+	om.dstCh = dstCh
+	om.msg = msg
+	om.dst = worldDst
+	om.key = key
+	w.net.SendInto(&om.tr, st.node, dstState.node, bytes, om)
+	st.outgoing = append(st.outgoing, om)
+	st.pruneOutgoing()
+	w.e.AtTimer(om.tr.TxDone(), req)
+	return req
+}
+
+// IsendPooled is IsendSized with pooled-message allocation discipline: the
+// payload is copied into a pooled buffer and the Message comes from the
+// world pool. Use only for traffic whose receiver fully consumes the message
+// and returns it via RecycleMessage (or drops it — the pool then simply does
+// not grow); a receiver that retains msg.Data must not see pooled sends.
+func (r *Rank) IsendPooled(c *Comm, dst, tag int, data []float64, meta any, payloadBytes int64) *Request {
+	r.flush()
+	return r.st.isendPooled(c, dst, tag, data, meta, payloadBytes)
+}
+
+// RecycleMessage returns a fully consumed message (payload buffer included)
+// to the world pool. Callers must drop every reference to the message and
+// its Data.
+func (w *World) RecycleMessage(m *Message) { w.putMessage(m) }
+
+// irecvColl posts a collective receive; the state machine recycles the
+// request on consumption.
+func (st *rankState) irecvColl(c *Comm, src, tag int) *Request {
+	req := newRequest(st, true, matchKey{src: c.WorldRank(src), tag: tag, comm: c.id})
+	st.postRecv(req)
 	return req
 }
 
@@ -195,38 +334,48 @@ type nopTimer struct{}
 
 func (nopTimer) Fire() {}
 
-// pruneOutgoing drops completed transfers so the in-flight list stays small.
+// pruneOutgoing recycles completed transfers so the in-flight list stays
+// small and delivered outMsg nodes return to the world pool.
 func (st *rankState) pruneOutgoing() {
 	if len(st.outgoing) < 64 {
 		return
 	}
+	w := st.w
+	n := len(st.outgoing)
 	live := st.outgoing[:0]
 	for _, om := range st.outgoing {
 		if !om.delivered {
 			live = append(live, om)
+		} else {
+			w.putOutMsg(om)
 		}
+	}
+	for i := len(live); i < n; i++ {
+		st.outgoing[i] = nil
 	}
 	st.outgoing = live
 }
 
-// deliver matches an arriving message against pending receives, or queues
-// it as unexpected. Messages for one key are kept in send order.
-func (st *rankState) deliver(key matchKey, msg *Message) {
+// deliver matches an arriving message against the channel's pending
+// receives, or queues it as unexpected. Messages stay in send order.
+func (st *rankState) deliver(key matchKey, ch *chanState, msg *Message) {
 	if st.dead {
 		return // arrived after the receiver crashed
 	}
-	if reqs := st.pending[key]; len(reqs) > 0 {
+	if reqs := ch.pending; len(reqs) > 0 {
 		rq := reqs[0]
 		// Shift in place rather than re-slicing from the front: the base
 		// pointer stays put, so later appends reuse the capacity instead of
 		// drifting toward a reallocation per queue cycle.
 		copy(reqs, reqs[1:])
 		reqs[len(reqs)-1] = nil
-		st.pending[key] = reqs[:len(reqs)-1]
+		ch.pending = reqs[:len(reqs)-1]
 		rq.complete(msg, nil)
+		rq.ch = nil // may be retired and recycled before the Wait
+		st.retireSingleShot(key, ch)
 		return
 	}
-	q := st.unexpected[key]
+	q := ch.unexpected
 	// Insertion sort by send sequence restores FIFO (non-overtaking) order
 	// even if the network reorders same-key messages.
 	i := len(q)
@@ -236,37 +385,50 @@ func (st *rankState) deliver(key matchKey, msg *Message) {
 	q = append(q, nil)
 	copy(q[i+1:], q[i:])
 	q[i] = msg
-	st.unexpected[key] = q
+	ch.unexpected = q
 }
 
 // Irecv posts a nonblocking receive matching (src, tag) on c.
 func (r *Rank) Irecv(c *Comm, src, tag int) *Request {
-	st := r.st
-	key := matchKey{src: c.WorldRank(src), tag: tag, comm: c.id}
-	req := newRequest(st, true, key)
-	if q := st.unexpected[key]; len(q) > 0 {
-		msg := q[0]
-		copy(q, q[1:])
-		q[len(q)-1] = nil
-		st.unexpected[key] = q[:len(q)-1]
-		req.complete(msg, nil)
-		return req
-	}
-	if st.w.ranks[key.src].dead && st.inflight[key] == 0 {
-		req.complete(nil, &PeerDeadError{Rank: key.src})
-		return req
-	}
-	st.pending[key] = append(st.pending[key], req)
+	r.flush()
+	req := newRequest(r.st, true, matchKey{src: c.WorldRank(src), tag: tag, comm: c.id})
+	r.st.postRecv(req)
 	return req
 }
 
-func (st *rankState) removePending(rq *Request) {
-	reqs := st.pending[rq.key]
+// postRecv matches a freshly posted receive against the unexpected queue,
+// fails it if the source is dead with nothing in flight, or parks it on the
+// pending list.
+func (st *rankState) postRecv(req *Request) {
+	key := req.key
+	ch := st.chanFor(key)
+	req.ch = ch
+	if q := ch.unexpected; len(q) > 0 {
+		msg := q[0]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		ch.unexpected = q[:len(q)-1]
+		req.complete(msg, nil)
+		req.ch = nil // may be retired and recycled before the Wait
+		st.retireSingleShot(key, ch)
+		return
+	}
+	if st.w.ranks[key.src].dead && ch.inflight == 0 {
+		req.complete(nil, &PeerDeadError{Rank: key.src})
+		req.ch = nil
+		st.retireSingleShot(key, ch)
+		return
+	}
+	ch.pending = append(ch.pending, req)
+}
+
+func (ch *chanState) removePending(rq *Request) {
+	reqs := ch.pending
 	for i, q := range reqs {
 		if q == rq {
 			copy(reqs[i:], reqs[i+1:])
 			reqs[len(reqs)-1] = nil
-			st.pending[rq.key] = reqs[:len(reqs)-1]
+			ch.pending = reqs[:len(reqs)-1]
 			return
 		}
 	}
@@ -274,6 +436,7 @@ func (st *rankState) removePending(rq *Request) {
 
 // Wait blocks until the request completes and returns its error.
 func (r *Rank) Wait(rq *Request) error {
+	r.flush()
 	t0 := r.p.Now()
 	_, err := rq.fut.Wait(r.p, waitReason(rq))
 	r.st.stats.Blocked += r.p.Now() - t0
@@ -302,31 +465,79 @@ func (r *Rank) Waitall(reqs []*Request) error {
 	return first
 }
 
-// Send is a blocking send: it returns once the local NIC has finished
-// transmitting (buffered send semantics with completion timing).
-func (r *Rank) Send(c *Comm, dst, tag int, data []float64, meta any) error {
-	return r.Wait(r.Isend(c, dst, tag, data, meta))
+// WaitallOwned is Waitall for request slices whose handles never escape
+// the caller: every request returns to the world pool after its wait, like
+// the blocking Send/Recv convenience wrappers. The replication layer's
+// blocking sends drain their scratch request slice through this.
+//
+// On a batched-compute world the drain runs back to front. Sends on one NIC
+// complete in posting order, so waiting on the last request first parks the
+// process once, at the final completion time, instead of once per request —
+// the resume instant, the total Blocked time and every other virtual outcome
+// are identical, but the intermediate wake events never enter the engine.
+// Like compute batching itself this perturbs only the event count, which is
+// why it rides the same flag: worlds that serialize event sequences keep the
+// front-to-back drain.
+func (r *Rank) WaitallOwned(reqs []*Request) error {
+	var first error
+	if r.st.w.batch {
+		for i := len(reqs) - 1; i >= 0; i-- {
+			rq := reqs[i]
+			if err := r.Wait(rq); err != nil {
+				first = err // ends at the lowest-index error, like Waitall
+			}
+			r.st.w.putRequest(rq)
+			reqs[i] = nil
+		}
+		return first
+	}
+	for i, rq := range reqs {
+		if err := r.Wait(rq); err != nil && first == nil {
+			first = err
+		}
+		r.st.w.putRequest(rq)
+		reqs[i] = nil
+	}
+	return first
 }
 
-// Recv blocks until a message matching (src, tag) arrives.
+// Send is a blocking send: it returns once the local NIC has finished
+// transmitting (buffered send semantics with completion timing). The
+// request handle never escapes, so it returns to the world pool.
+func (r *Rank) Send(c *Comm, dst, tag int, data []float64, meta any) error {
+	rq := r.Isend(c, dst, tag, data, meta)
+	err := r.Wait(rq)
+	r.st.w.putRequest(rq)
+	return err
+}
+
+// Recv blocks until a message matching (src, tag) arrives. The request
+// handle never escapes, so it returns to the world pool; the message is
+// owned by the caller.
 func (r *Rank) Recv(c *Comm, src, tag int) (*Message, error) {
 	rq := r.Irecv(c, src, tag)
-	if err := r.Wait(rq); err != nil {
+	err := r.Wait(rq)
+	msg := rq.msg
+	r.st.w.putRequest(rq)
+	if err != nil {
 		return nil, err
 	}
-	return rq.msg, nil
+	return msg, nil
 }
 
 // TryRecv returns a queued message matching (src, tag) if one has already
 // arrived; it never blocks.
 func (r *Rank) TryRecv(c *Comm, src, tag int) (*Message, bool) {
+	r.flush()
 	st := r.st
 	key := matchKey{src: c.WorldRank(src), tag: tag, comm: c.id}
-	if q := st.unexpected[key]; len(q) > 0 {
+	if ch := st.chans[key]; ch != nil && len(ch.unexpected) > 0 {
+		q := ch.unexpected
 		msg := q[0]
 		copy(q, q[1:])
 		q[len(q)-1] = nil
-		st.unexpected[key] = q[:len(q)-1]
+		ch.unexpected = q[:len(q)-1]
+		st.retireSingleShot(key, ch)
 		return msg, true
 	}
 	return nil, false

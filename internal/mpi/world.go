@@ -14,6 +14,7 @@ package mpi
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/perf"
 	"repro/internal/sim"
@@ -41,28 +42,122 @@ type World struct {
 	reqSeq    uint64
 	world     *Comm
 	deathSubs []func(rank int)
+	batch     bool // defer compute stretches until the next communication
+
+	// Free lists (see Scratch). A world starts with private, empty ones;
+	// UseScratch swaps in a caller-owned bundle that survives the world.
+	sc *Scratch
+}
+
+// Scratch is the bundle of free lists a world draws from: requests,
+// collective messages (with their payload buffers), outMsg transfer nodes
+// and single-shot channel states. By default every world owns a private
+// scratch, so independent worlds stay independent without locking. A harness
+// that builds many short-lived worlds in sequence on one goroutine — the
+// pooled sweep worker simulating one campaign trial per world — can hand
+// the same Scratch to each of them, so every trial after the first runs on
+// warm pools instead of re-allocating its steady state from nothing.
+type Scratch struct {
+	reqFree []*Request
+	msgFree []*Message
+	omFree  []*outMsg
+	chFree  []*chanState
+	outFree [][]*outMsg // recycled per-rank in-flight lists (backing arrays)
+}
+
+// NewScratch returns an empty free-list bundle for UseScratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// UseScratch makes the world draw from (and recycle into) sc instead of its
+// private free lists. Call it before Launch. The caller must ensure worlds
+// sharing a scratch never run concurrently: the pools are unlocked by
+// design, one engine drives one world at a time.
+func (w *World) UseScratch(sc *Scratch) {
+	w.sc = sc
+	// Hand recycled in-flight list backing arrays to the ranks; without
+	// this every trial re-grows 16 slices through the same append doublings.
+	for _, st := range w.ranks {
+		n := len(sc.outFree)
+		if n == 0 {
+			break
+		}
+		if st.outgoing == nil {
+			st.outgoing = sc.outFree[n-1][:0]
+			sc.outFree[n-1] = nil
+			sc.outFree = sc.outFree[:n-1]
+		}
+	}
 }
 
 type rankState struct {
-	w          *World
-	rank       int
-	node       int
-	proc       *sim.Proc
-	dead       bool
-	unexpected map[matchKey][]*Message
-	pending    map[matchKey][]*Request
-	inflight   map[matchKey]int // messages en route to this rank
-	outgoing   []*outMsg        // transfers this rank has in flight
-	sendSeq    map[matchKey]uint64
-	stats      Stats
+	w        *World
+	rank     int
+	node     int
+	proc     *sim.Proc
+	dead     bool
+	chans    map[matchKey]*chanState // per-(src,tag,comm) matching state
+	outgoing []*outMsg               // transfers this rank has in flight
+	stats    Stats
+	pending  sim.Time   // deferred compute time (batched-compute worlds)
+	coll     *collSM    // pooled collective state machine (lazy)
+	scalar   [1]float64 // scratch cell backing AllreduceScalar
+}
+
+// chanState is the matching state of one (src, tag, comm) channel. Keeping
+// the send sequence, in-flight count and both match queues behind a single
+// map entry means each message costs a couple of key hashes instead of one
+// per field — and hot paths that already hold the pointer (delivery, a
+// pending request) pay none at all.
+type chanState struct {
+	sendSeq    uint64     // per-channel send sequence (sender side)
+	inflight   int        // messages en route to this rank (receiver side)
+	pending    []*Request // posted receives in arrival order (receiver side)
+	unexpected []*Message // arrived unmatched, in send order (receiver side)
+}
+
+// chanFor returns the channel state for key, creating it on first use.
+// Fresh states come from the world pool: single-shot collective channels
+// cycle through it once per tree hop, match-queue backing arrays and all.
+func (st *rankState) chanFor(key matchKey) *chanState {
+	if ch := st.chans[key]; ch != nil {
+		return ch
+	}
+	sc := st.w.sc
+	var ch *chanState
+	if n := len(sc.chFree); n > 0 {
+		ch = sc.chFree[n-1]
+		sc.chFree[n-1] = nil
+		sc.chFree = sc.chFree[:n-1]
+	} else {
+		ch = &chanState{}
+	}
+	st.chans[key] = ch
+	return ch
+}
+
+// retireSingleShot drops a drained collective channel from the matching map
+// and recycles its state. Collective tags (negative) are minted fresh per
+// round, so each (src, tag) channel carries at most one message ever: once
+// that message is consumed the entry is dead weight — it would bloat the
+// channel map that every death scan iterates, and cost an allocation per
+// tree hop. Application tags (>= 0) are reusable and never retired.
+func (st *rankState) retireSingleShot(key matchKey, ch *chanState) {
+	if key.tag >= 0 || len(ch.pending) > 0 || len(ch.unexpected) > 0 || ch.inflight > 0 {
+		return
+	}
+	delete(st.chans, key)
+	ch.sendSeq = 0
+	st.w.sc.chFree = append(st.w.sc.chFree, ch)
 }
 
 // outMsg is one in-flight transmission. The simnet Transfer is embedded by
 // value and the outMsg itself is the typed delivery callback, so a send
-// allocates neither a separate Transfer nor a delivery closure.
+// allocates neither a separate Transfer nor a delivery closure. The
+// destination channel state rides along, so delivery hashes no keys.
 type outMsg struct {
 	tr        simnet.Transfer
 	dstSt     *rankState // destination rank
+	dstCh     *chanState // destination channel state
 	msg       *Message
 	dst       int // destination world rank
 	key       matchKey
@@ -74,14 +169,110 @@ func (om *outMsg) Fire() {
 	om.delivered = true
 	msg := om.msg
 	om.msg = nil // the receiver owns it now; drop our reference
-	om.dstSt.inflight[om.key]--
-	om.dstSt.deliver(om.key, msg)
+	om.dstCh.inflight--
+	om.dstSt.deliver(om.key, om.dstCh, msg)
 }
 
 type matchKey struct {
 	src  int
 	tag  int
 	comm int
+}
+
+// putRequest returns a request whose handle did not escape to the pool.
+func (st *rankState) putRequest(rq *Request) { st.w.putRequest(rq) }
+
+func (w *World) putRequest(rq *Request) {
+	rq.st = nil
+	rq.ch = nil
+	rq.msg = nil
+	rq.err = nil
+	w.sc.reqFree = append(w.sc.reqFree, rq)
+}
+
+// getMessage returns a pooled message with a payload buffer of length n.
+func (w *World) getMessage(n int) *Message {
+	sc := w.sc
+	if l := len(sc.msgFree); l > 0 {
+		m := sc.msgFree[l-1]
+		sc.msgFree[l-1] = nil
+		sc.msgFree = sc.msgFree[:l-1]
+		if cap(m.Data) < n {
+			m.Data = make([]float64, n)
+		} else {
+			m.Data = m.Data[:n]
+		}
+		return m
+	}
+	return &Message{Data: make([]float64, n)}
+}
+
+// putMessage recycles a consumed collective message, payload buffer and
+// all. Only collective receives call it: point-to-point messages are owned
+// by their receiver indefinitely.
+func (w *World) putMessage(m *Message) {
+	m.Meta = nil
+	w.sc.msgFree = append(w.sc.msgFree, m)
+}
+
+func (w *World) getOutMsg() *outMsg {
+	sc := w.sc
+	if l := len(sc.omFree); l > 0 {
+		om := sc.omFree[l-1]
+		sc.omFree[l-1] = nil
+		sc.omFree = sc.omFree[:l-1]
+		om.delivered = false
+		return om
+	}
+	return &outMsg{}
+}
+
+func (w *World) putOutMsg(om *outMsg) {
+	om.dstSt = nil
+	om.dstCh = nil
+	om.msg = nil
+	w.sc.omFree = append(w.sc.omFree, om)
+}
+
+// Reclaim returns the world's recyclable steady state to its scratch once a
+// run has fully drained: delivered transfer nodes, channel states and the
+// messages and receive requests still queued unmatched. A harness that runs
+// many short-lived worlds on one shared scratch calls it right before
+// dropping the world — without it most of the pooled inventory dies with
+// the world's own structures and every trial starts cold again. The world
+// must not be used afterwards.
+func (w *World) Reclaim() {
+	for _, st := range w.ranks {
+		for i, om := range st.outgoing {
+			if !om.delivered {
+				// The run has drained; an undelivered transfer can no longer
+				// fire, so its payload message is exclusively ours again.
+				w.putMessage(om.msg)
+			}
+			w.putOutMsg(om)
+			st.outgoing[i] = nil
+		}
+		if st.outgoing != nil {
+			w.sc.outFree = append(w.sc.outFree, st.outgoing[:0])
+			st.outgoing = nil
+		}
+		for key, ch := range st.chans {
+			for i, m := range ch.unexpected {
+				w.putMessage(m)
+				ch.unexpected[i] = nil
+			}
+			ch.unexpected = ch.unexpected[:0]
+			for i, rq := range ch.pending {
+				w.putRequest(rq)
+				ch.pending[i] = nil
+			}
+			ch.pending = ch.pending[:0]
+			ch.inflight = 0
+			ch.sendSeq = 0
+			delete(st.chans, key)
+			w.sc.chFree = append(w.sc.chFree, ch)
+		}
+	}
 }
 
 // Message is a delivered point-to-point message.
@@ -101,21 +292,18 @@ func NewWorld(e *sim.Engine, net *simnet.Network, n int, machine perf.Machine, p
 	if placement == nil {
 		placement = net.NodeOf
 	}
-	w := &World{e: e, net: net, machine: machine, placement: placement}
+	w := &World{e: e, net: net, machine: machine, placement: placement, sc: NewScratch()}
+	w.ranks = make([]*rankState, n)
+	slab := make([]rankState, n) // one allocation for all per-rank state
 	for i := 0; i < n; i++ {
 		node := placement(i)
 		if node < 0 || node >= net.Nodes() {
 			panic(fmt.Sprintf("mpi: rank %d placed on invalid node %d", i, node))
 		}
-		w.ranks = append(w.ranks, &rankState{
-			w:          w,
-			rank:       i,
-			node:       node,
-			unexpected: make(map[matchKey][]*Message),
-			pending:    make(map[matchKey][]*Request),
-			inflight:   make(map[matchKey]int),
-			sendSeq:    make(map[matchKey]uint64),
-		})
+		st := &slab[i]
+		st.w, st.rank, st.node = w, i, node
+		st.chans = make(map[matchKey]*chanState)
+		w.ranks[i] = st
 	}
 	members := make([]int, n)
 	for i := range members {
@@ -150,6 +338,17 @@ func (w *World) Dead(rank int) bool { return w.ranks[rank].dead }
 // StatsOf returns a copy of the rank's accounting counters.
 func (w *World) StatsOf(rank int) Stats { return w.ranks[rank].stats }
 
+// SetBatchedCompute toggles deferred compute accounting: Compute calls
+// accumulate into a per-rank pending duration instead of sleeping per call,
+// and the single real Sleep happens at the next operation whose outcome can
+// depend on the current instant (any send, receive, wait, collective, crash
+// or death query — and program end, so a rank stays killable through its
+// trailing compute). Rank.Now always reports engine time plus the rank's
+// pending compute, so virtual-time measurements are identical to the
+// unbatched schedule; only the engine's event count differs. Harnesses that
+// serialize event counts must leave batching off. Set before Launch.
+func (w *World) SetBatchedCompute(on bool) { w.batch = on }
+
 // OnDeath registers fn to be invoked in engine context when a rank dies,
 // after undeliverable receives have been failed.
 func (w *World) OnDeath(fn func(rank int)) { w.deathSubs = append(w.deathSubs, fn) }
@@ -161,7 +360,11 @@ func (w *World) Launch(name string, rank int, fn func(r *Rank)) {
 		panic(fmt.Sprintf("mpi: rank %d launched twice", rank))
 	}
 	st.proc = w.e.Spawn(name, func(p *sim.Proc) {
-		fn(&Rank{st: st, p: p})
+		r := &Rank{st: st, p: p}
+		fn(r)
+		// Realize any trailing deferred compute: the rank's process must
+		// stay alive (and killable) until its true virtual end time.
+		r.flush()
 	})
 	st.proc.SetUserData(st)
 }
@@ -169,7 +372,7 @@ func (w *World) Launch(name string, rank int, fn func(r *Rank)) {
 // LaunchAll starts fn on every rank, naming processes "prefix/rank".
 func (w *World) LaunchAll(prefix string, fn func(r *Rank)) {
 	for i := range w.ranks {
-		w.Launch(fmt.Sprintf("%s/%d", prefix, i), i, fn)
+		w.Launch(prefix+"/"+strconv.Itoa(i), i, fn)
 	}
 }
 
@@ -193,19 +396,21 @@ func (w *World) onProcKilled(p *sim.Proc) {
 	st.dead = true
 	// Drop in-flight transmissions that had not left the NIC.
 	now := w.e.Now()
-	for _, om := range st.outgoing {
+	for i, om := range st.outgoing {
 		if om.delivered {
-			continue
-		}
-		if om.tr.TxDone() > now {
+			w.putOutMsg(om)
+		} else if om.tr.TxDone() > now {
 			om.tr.Cancel()
-			om.delivered = true
-			dst := w.ranks[om.dst]
-			dst.inflight[om.key]--
-			dst.failDoomedRecvs(om.key)
+			om.dstCh.inflight--
+			w.ranks[om.dst].failDoomedRecvs(om.key, om.dstCh)
+			w.putMessage(om.msg)
+			w.putOutMsg(om)
 		}
+		// else: the transfer already left the NIC; it stays owned by its
+		// pending delivery event and is dropped on arrival or consumed.
+		st.outgoing[i] = nil
 	}
-	st.outgoing = nil
+	st.outgoing = st.outgoing[:0]
 	// Fail receives (on every surviving rank) that name the dead rank as
 	// source and cannot be satisfied by queued or in-flight messages.
 	for _, r := range w.ranks {
@@ -220,44 +425,44 @@ func (w *World) onProcKilled(p *sim.Proc) {
 }
 
 // failRecvsFrom fails every pending receive naming src that has no queued
-// or in-flight message to satisfy it. Candidates are gathered per key and
-// then sorted by request id, so the wake-up order is deterministic even
-// though pending is a map.
+// or in-flight message to satisfy it. Candidates are gathered per channel
+// and then sorted by request id, so the wake-up order is deterministic even
+// though chans is a map.
 func (st *rankState) failRecvsFrom(src int) {
 	var doomed []*Request
-	for key, reqs := range st.pending {
-		if key.src != src {
+	for key, ch := range st.chans {
+		if key.src != src || len(ch.pending) == 0 {
 			continue
 		}
-		avail := len(st.unexpected[key]) + st.inflight[key]
-		if avail >= len(reqs) {
+		avail := len(ch.unexpected) + ch.inflight
+		if avail >= len(ch.pending) {
 			continue
 		}
-		doomed = append(doomed, reqs[avail:]...)
+		doomed = append(doomed, ch.pending[avail:]...)
 	}
 	// Deterministic order: sort by request id.
 	sortRequests(doomed)
 	for _, rq := range doomed {
-		st.removePending(rq)
+		rq.ch.removePending(rq)
 		rq.complete(nil, &PeerDeadError{Rank: src})
 	}
 }
 
-// failDoomedRecvs re-checks pending receives for key after in-flight
+// failDoomedRecvs re-checks pending receives on ch after in-flight
 // accounting changed; used when a transfer from a now-dead source is
 // dropped or delivered.
-func (st *rankState) failDoomedRecvs(key matchKey) {
+func (st *rankState) failDoomedRecvs(key matchKey, ch *chanState) {
 	if !st.w.ranks[key.src].dead {
 		return
 	}
-	reqs := st.pending[key]
-	avail := len(st.unexpected[key]) + st.inflight[key]
-	if avail >= len(reqs) {
+	avail := len(ch.unexpected) + ch.inflight
+	if avail >= len(ch.pending) {
 		return
 	}
-	doomed := append([]*Request(nil), reqs[avail:]...)
+	doomed := append([]*Request(nil), ch.pending[avail:]...)
 	for _, rq := range doomed {
-		st.removePending(rq)
+		ch.removePending(rq)
 		rq.complete(nil, &PeerDeadError{Rank: key.src})
 	}
+	st.retireSingleShot(key, ch)
 }

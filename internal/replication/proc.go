@@ -19,6 +19,7 @@ type Proc struct {
 	stash     map[chanKey]map[uint64]*mpi.Message // early messages (defensive)
 	sendSeq   map[chanKey]uint64                  // next seq per (logical dst, tag)
 	log       []logEntry                          // send log for crash coverage
+	logArena  []float64                           // payload storage backing log entries
 	collRound int                                 // collective round counter
 	reqbuf    []*mpi.Request                      // scratch for blocking sends
 }
@@ -30,12 +31,12 @@ type chanKey struct {
 }
 
 type logEntry struct {
-	dst   int // logical destination
-	tag   int
-	seq   uint64
-	data  []float64
-	meta  any
-	bytes int64 // modeled payload size
+	dst    int // logical destination
+	tag    int
+	seq    uint64
+	off, n int // payload location in the proc's log arena
+	meta   any
+	bytes  int64 // modeled payload size
 }
 
 // hdr is the replication header carried in mpi message metadata.
@@ -45,15 +46,10 @@ type hdr struct {
 }
 
 func newProc(s *System, r *mpi.Rank, logical, lane int) *Proc {
-	return &Proc{
-		s:        s,
-		R:        r,
-		Logical:  logical,
-		Lane:     lane,
-		expected: make(map[chanKey]uint64),
-		stash:    make(map[chanKey]map[uint64]*mpi.Message),
-		sendSeq:  make(map[chanKey]uint64),
-	}
+	// The bookkeeping maps are lazy: they only ever hold application-tag
+	// channels (collective tags skip sequence bookkeeping entirely), so a
+	// replica that exchanges nothing but collectives never materializes them.
+	return &Proc{s: s, R: r, Logical: logical, Lane: lane}
 }
 
 // System returns the replication system.
@@ -78,11 +74,11 @@ func (p *Proc) Send(dst, tag int, data []float64, meta any) error {
 
 // SendSized is Send with an explicit modeled payload size (for scaled
 // experiment runs). The per-lane request slice is a scratch buffer reused
-// across calls: the blocking wait drains it before return, so the hot
-// send-wait path does not allocate it anew each time.
+// across calls, and the requests themselves never escape, so the blocking
+// wait drains it and recycles every handle to the world pool.
 func (p *Proc) SendSized(dst, tag int, data []float64, meta any, payloadBytes int64) error {
 	p.reqbuf = p.isendInto(p.reqbuf[:0], dst, tag, data, meta, payloadBytes)
-	return p.R.Waitall(p.reqbuf)
+	return p.R.WaitallOwned(p.reqbuf)
 }
 
 // Isend is the nonblocking variant of Send. The returned requests complete
@@ -97,14 +93,26 @@ func (p *Proc) IsendSized(dst, tag int, data []float64, meta any, payloadBytes i
 }
 
 func (p *Proc) isendInto(reqs []*mpi.Request, dst, tag int, data []float64, meta any, payloadBytes int64) []*mpi.Request {
-	key := chanKey{peer: dst, tag: tag}
-	p.sendSeq[key]++
-	seq := p.sendSeq[key]
-	h := hdr{Seq: seq, User: meta}
+	// Collective tags (negative, minted fresh per round by collTag) are
+	// single-shot: each (src, dst, tag) pair carries at most one message,
+	// so their sequence number is constantly 1 and per-channel counters
+	// would only accumulate dead entries. Only application tags, which can
+	// be reused, pay for sequence bookkeeping.
+	seq := uint64(1)
+	if tag >= 0 {
+		if p.sendSeq == nil {
+			p.sendSeq = make(map[chanKey]uint64)
+		}
+		key := chanKey{peer: dst, tag: tag}
+		p.sendSeq[key]++
+		seq = p.sendSeq[key]
+	}
 	if p.s.cfg.SendLog {
-		buf := make([]float64, len(data))
-		copy(buf, data)
-		p.log = append(p.log, logEntry{dst: dst, tag: tag, seq: seq, data: buf, meta: meta, bytes: payloadBytes})
+		// Payloads land in one per-proc arena rather than a fresh buffer per
+		// send; entries address it by offset because append may move it.
+		off := len(p.logArena)
+		p.logArena = append(p.logArena, data...)
+		p.log = append(p.log, logEntry{dst: dst, tag: tag, seq: seq, off: off, n: len(data), meta: meta, bytes: payloadBytes})
 	}
 	for l := 0; l < p.s.cfg.Degree; l++ {
 		cover, ok := p.s.Cover(p.Logical, l)
@@ -115,7 +123,7 @@ func (p *Proc) isendInto(reqs []*mpi.Request, dst, tag int, data []float64, meta
 			p.s.deadDrops++
 			continue // the lane-l replica of dst is dead; its cover has its own feed
 		}
-		reqs = append(reqs, p.R.IsendSized(p.s.w.World(), p.s.PhysRank(dst, l), tag, data, h, payloadBytes))
+		reqs = append(reqs, p.R.IsendPooled(p.s.w.World(), p.s.PhysRank(dst, l), tag, data, p.s.getHdr(seq, meta), payloadBytes))
 	}
 	return reqs
 }
@@ -129,10 +137,10 @@ func (p *Proc) replayTo(l int) {
 			continue
 		}
 		p.s.replayMsgs++
-		buf := make([]float64, len(ent.data))
-		copy(buf, ent.data)
+		buf := make([]float64, ent.n)
+		copy(buf, p.logArena[ent.off:ent.off+ent.n])
 		p.s.w.AsyncSend(p.s.PhysRank(p.Logical, p.Lane), p.s.w.World(),
-			p.s.PhysRank(ent.dst, l), ent.tag, buf, hdr{Seq: ent.seq, User: ent.meta}, ent.bytes)
+			p.s.PhysRank(ent.dst, l), ent.tag, buf, p.s.getHdr(ent.seq, ent.meta), ent.bytes)
 	}
 }
 
@@ -142,32 +150,44 @@ func (p *Proc) replayTo(l int) {
 // coverage replay.
 func (p *Proc) Recv(src, tag int) (*mpi.Message, error) {
 	key := chanKey{peer: src, tag: tag}
-	want := p.expected[key] + 1
+	want := uint64(1)
+	if tag >= 0 {
+		want = p.expected[key] + 1
+	}
 	for {
 		// Serve from the stash first (early arrivals from a previous
-		// failover).
-		if st := p.stash[key]; st != nil {
-			if msg, ok := st[want]; ok {
-				delete(st, want)
-				p.expected[key] = want
-				return msg, nil
+		// failover). Single-shot collective tags can never stash: their
+		// only sequence number is 1, which is never ahead of want.
+		if tag >= 0 {
+			if st := p.stash[key]; st != nil {
+				if msg, ok := st[want]; ok {
+					delete(st, want)
+					p.expected[key] = want
+					return msg, nil
+				}
 			}
 		}
 		// Drain any message already queued from any replica of src; a
 		// message from a now-dead replica may have been delivered before
-		// the crash.
-		drained := false
-		for l := 0; l < p.s.cfg.Degree; l++ {
-			if msg, ok := p.R.TryRecv(p.s.w.World(), p.s.PhysRank(src, l), tag); ok {
-				if p.accept(key, want, msg) {
-					return msg, nil
+		// the crash. Until the first membership change (epoch 0) each lane
+		// has exactly one feed — its own — and anything queued there is
+		// consumed without parking by the blocking receive below, so the
+		// drain only runs once a crash may have re-routed or replayed
+		// traffic.
+		if p.s.epoch > 0 {
+			drained := false
+			for l := 0; l < p.s.cfg.Degree; l++ {
+				if msg, ok := p.R.TryRecv(p.s.w.World(), p.s.PhysRank(src, l), tag); ok {
+					if p.accept(key, want, msg) {
+						return msg, nil
+					}
+					drained = true
+					break
 				}
-				drained = true
-				break
 			}
-		}
-		if drained {
-			continue
+			if drained {
+				continue
+			}
 		}
 		cover, ok := p.s.Cover(src, p.Lane)
 		if !ok {
@@ -190,22 +210,35 @@ func (p *Proc) Recv(src, tag int) (*mpi.Message, error) {
 // true when msg is the next expected message; duplicates are dropped and
 // early messages stashed.
 func (p *Proc) accept(key chanKey, want uint64, msg *mpi.Message) bool {
-	h, ok := msg.Meta.(hdr)
+	h, ok := msg.Meta.(*hdr)
 	if !ok {
 		panic("replication: message without replication header")
 	}
 	msg.Meta = h.User
+	seq := h.Seq
+	p.s.putHdr(h)
 	switch {
-	case h.Seq == want:
-		p.expected[key] = want
+	case seq == want:
+		if key.tag >= 0 {
+			if p.expected == nil {
+				p.expected = make(map[chanKey]uint64)
+			}
+			p.expected[key] = want
+		}
 		return true
-	case h.Seq < want:
-		return false // duplicate from coverage replay
+	case seq < want:
+		// Duplicate from coverage replay: nobody will ever see it again, so
+		// its buffer can rejoin the message pool whatever path it came from.
+		p.s.w.RecycleMessage(msg)
+		return false
 	default:
+		if p.stash == nil {
+			p.stash = make(map[chanKey]map[uint64]*mpi.Message)
+		}
 		if p.stash[key] == nil {
 			p.stash[key] = make(map[uint64]*mpi.Message)
 		}
-		p.stash[key][h.Seq] = msg
+		p.stash[key][seq] = msg
 		return false
 	}
 }
@@ -251,9 +284,11 @@ func (p *Proc) Barrier() error {
 		if err := p.Send((me+k)%n, tag, nil, nil); err != nil {
 			return err
 		}
-		if _, err := p.Recv((me-k+n)%n, tag); err != nil {
+		msg, err := p.Recv((me-k+n)%n, tag)
+		if err != nil {
 			return err
 		}
+		p.s.w.RecycleMessage(msg)
 	}
 	return nil
 }
@@ -281,6 +316,7 @@ func (p *Proc) bcastTag(tag, root int, data []float64) error {
 			return err
 		}
 		copy(data, msg.Data)
+		p.s.w.RecycleMessage(msg)
 	}
 	mask := 1
 	for vrank&mask == 0 && mask < n {
@@ -319,6 +355,7 @@ func (p *Proc) reduceTag(tag, root int, op mpi.ReduceOp, data []float64) error {
 				return err
 			}
 			op(data, msg.Data)
+			p.s.w.RecycleMessage(msg)
 		}
 	}
 	return nil

@@ -29,6 +29,7 @@ package replication
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/mpi"
 )
@@ -51,6 +52,27 @@ type System struct {
 	deathSubs  []func(logical, lane int)
 	deadDrops  int64 // sends skipped because the destination replica died
 	replayMsgs int64 // messages re-sent from a send log after a crash
+	hdrFree    []*hdr
+}
+
+// getHdr draws a replication header from the pool. Receivers return it via
+// putHdr the moment accept unwraps the message, so steady-state traffic
+// carries headers without boxing one per physical send. Headers on dropped
+// or never-received messages simply stay out of the pool.
+func (s *System) getHdr(seq uint64, user any) *hdr {
+	if n := len(s.hdrFree); n > 0 {
+		h := s.hdrFree[n-1]
+		s.hdrFree[n-1] = nil
+		s.hdrFree = s.hdrFree[:n-1]
+		h.Seq, h.User = seq, user
+		return h
+	}
+	return &hdr{Seq: seq, User: user}
+}
+
+func (s *System) putHdr(h *hdr) {
+	h.User = nil
+	s.hdrFree = append(s.hdrFree, h)
 }
 
 // New builds a replicated system over w. The world must have exactly
@@ -67,18 +89,23 @@ func New(w *mpi.World, cfg Config) *System {
 			w.Size(), cfg.Logical, cfg.Degree))
 	}
 	s := &System{w: w, cfg: cfg}
+	// Backing arrays for the per-logical tables are single slabs; campaigns
+	// build one System per trial, so construction cost is on the hot path.
 	s.alive = make([][]bool, cfg.Logical)
 	s.procs = make([][]*Proc, cfg.Logical)
+	aliveSlab := make([]bool, cfg.Logical*cfg.Degree)
+	procSlab := make([]*Proc, cfg.Logical*cfg.Degree)
 	for r := range s.alive {
-		s.alive[r] = make([]bool, cfg.Degree)
-		s.procs[r] = make([]*Proc, cfg.Degree)
+		s.alive[r] = aliveSlab[r*cfg.Degree : (r+1)*cfg.Degree : (r+1)*cfg.Degree]
+		s.procs[r] = procSlab[r*cfg.Degree : (r+1)*cfg.Degree : (r+1)*cfg.Degree]
 		for l := range s.alive[r] {
 			s.alive[r][l] = true
 		}
 	}
 	s.replComms = make([]*mpi.Comm, cfg.Logical)
+	memberSlab := make([]int, cfg.Logical*cfg.Degree)
 	for r := 0; r < cfg.Logical; r++ {
-		members := make([]int, cfg.Degree)
+		members := memberSlab[r*cfg.Degree : (r+1)*cfg.Degree : (r+1)*cfg.Degree]
 		for l := 0; l < cfg.Degree; l++ {
 			members[l] = s.PhysRank(r, l)
 		}
@@ -178,7 +205,8 @@ func (s *System) Launch(prefix string, program func(p *Proc)) {
 		for r := 0; r < s.cfg.Logical; r++ {
 			r, l := r, l
 			phys := s.PhysRank(r, l)
-			s.w.Launch(fmt.Sprintf("%s/r%d.%d", prefix, r, l), phys, func(rank *mpi.Rank) {
+			name := prefix + "/r" + strconv.Itoa(r) + "." + strconv.Itoa(l)
+			s.w.Launch(name, phys, func(rank *mpi.Rank) {
 				p := newProc(s, rank, r, l)
 				s.procs[r][l] = p
 				program(p)

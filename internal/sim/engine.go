@@ -27,9 +27,14 @@ type Event struct {
 	proc  *Proc  // evWake
 	tm    Timer  // evTimer
 	gen   uint32
-	index int32 // position in the queue, -1 when not queued
+	index int32 // heap position; idxFree when not queued, idxFIFO when in the now-FIFO
 	kind  uint8
 }
+
+const (
+	idxFree int32 = -1 // not queued (fired, canceled, or free)
+	idxFIFO int32 = -2 // queued in the now-FIFO rather than the heap
+)
 
 // Timer is a typed scheduled callback: upper layers implement Fire on an
 // object they already allocate per logical operation (a request, an
@@ -40,28 +45,49 @@ type Timer interface {
 
 // EventRef is a cancelable handle on a scheduled event. It is a value: the
 // generation captured at scheduling time makes a stale handle (one whose
-// event already fired and whose node was recycled) a safe no-op.
+// event already fired and whose node was recycled) a safe no-op. A handle
+// held across Engine.Reset is not merely stale but a protocol bug — the
+// epoch check turns any use of one into a panic instead of silent corruption
+// of the next simulation.
 type EventRef struct {
-	ev  *Event
-	gen uint32
+	ev    *Event
+	gen   uint32
+	epoch uint32
 }
 
 // Cancel removes the event from the queue immediately; the queue does not
 // accumulate tombstones. Canceling an event that already fired (or was
-// already canceled) is a no-op.
+// already canceled) is a no-op. Canceling across an Engine.Reset panics.
 func (r EventRef) Cancel() {
 	ev := r.ev
-	if ev == nil || ev.gen != r.gen || ev.index < 0 {
+	if ev == nil {
 		return
 	}
-	ev.e.heapRemove(ev)
+	if ev.e.epoch != r.epoch {
+		panic("sim: EventRef used across Engine.Reset")
+	}
+	if ev.gen != r.gen || ev.index == idxFree {
+		return
+	}
+	if ev.index == idxFIFO {
+		ev.e.fifoRemove(ev)
+	} else {
+		ev.e.heapRemove(ev)
+	}
 	ev.e.recycle(ev)
 }
 
 // Time returns the virtual time the event is scheduled to fire at, or -1 if
-// the handle is stale (the event fired or was canceled).
+// the handle is stale (the event fired or was canceled). Use across an
+// Engine.Reset panics.
 func (r EventRef) Time() Time {
-	if r.ev == nil || r.ev.gen != r.gen || r.ev.index < 0 {
+	if r.ev == nil {
+		return -1
+	}
+	if r.ev.e.epoch != r.epoch {
+		panic("sim: EventRef used across Engine.Reset")
+	}
+	if r.ev.gen != r.gen || r.ev.index == idxFree {
 		return -1
 	}
 	return r.ev.t
@@ -89,20 +115,97 @@ func entryLess(a, b heapEntry) bool {
 // nodes are pooled through a free list, so the steady-state hot path
 // (schedule, fire, recycle) performs no allocation.
 type Engine struct {
-	now       Time
-	queue     []heapEntry
+	now   Time
+	queue []heapEntry
+	// fifo is the now-FIFO: events scheduled at the current instant, which
+	// is most continuation events in a busy simulation. Because virtual time
+	// never goes backwards and seq strictly increases, these entries are
+	// already in (t, seq) order, so they skip the heap entirely — popping
+	// the minimum of the FIFO head and the heap top yields exactly the
+	// sequence a single heap would have.
+	fifo      []heapEntry
+	fifoHead  int
+	fifoLive  int // non-canceled entries in fifo[fifoHead:]
 	free      []*Event
 	seq       uint64
-	parkedCh  chan struct{}
 	cur       *Proc
 	procs     []*Proc
+	idle      []*Proc // finished pooled goroutines awaiting reuse
 	killHooks []func(*Proc)
 	nEvents   uint64
+	epoch     uint32 // bumped by Reset; EventRef/Future use across epochs panics
+	pooling   bool   // process goroutines are reused across Reset
 }
 
 // New creates an empty simulation engine at virtual time zero.
 func New() *Engine {
-	return &Engine{parkedCh: make(chan struct{})}
+	return &Engine{}
+}
+
+// NewPooled creates an engine whose process goroutines are pooled: when a
+// process function returns (or crashes), its goroutine parks for reuse by a
+// later Spawn instead of exiting. Combined with Reset this lets a harness
+// run thousands of simulations without respawning P goroutines each time.
+// Call Shutdown when the engine is retired, or the pooled goroutines leak.
+func NewPooled() *Engine {
+	e := New()
+	e.pooling = true
+	return e
+}
+
+// Reset returns the engine to its initial state (virtual time zero, empty
+// queue, no processes) so it can run another simulation. Queued events are
+// recycled and the epoch advances, so any EventRef or Future leaked from
+// before the Reset panics on use instead of firing into the next run.
+// Processes still parked mid-function are crash-unwound first — with the
+// kill hooks already cleared, so no stale upper-layer hook observes them.
+// On a pooled engine the unwound and finished goroutines go to the idle
+// pool for reuse by subsequent Spawns.
+func (e *Engine) Reset() {
+	if e.cur != nil {
+		panic("sim: Reset called from process context")
+	}
+	for {
+		ev := e.popNext()
+		if ev == nil {
+			break
+		}
+		e.recycle(ev)
+	}
+	e.killHooks = e.killHooks[:0]
+	for _, p := range e.procs {
+		if p.state == stateParked {
+			p.killed = true
+			e.resume(p)
+		}
+	}
+	for i, p := range e.procs {
+		p.fn = nil
+		p.userData = nil
+		p.failure = nil
+		if e.pooling {
+			e.idle = append(e.idle, p)
+		}
+		e.procs[i] = nil
+	}
+	e.procs = e.procs[:0]
+	e.now = 0
+	e.seq = 0
+	e.nEvents = 0
+	e.epoch++
+}
+
+// Shutdown terminates the pooled process goroutines of an engine created
+// with NewPooled (after a Reset to unwind and collect any remaining
+// processes). The engine must not be used afterwards.
+func (e *Engine) Shutdown() {
+	e.Reset()
+	for i, p := range e.idle {
+		p.die = true
+		p.next() // the idle loop sees die and the coroutine ends
+		e.idle[i] = nil
+	}
+	e.idle = e.idle[:0]
 }
 
 // Now returns the current virtual time.
@@ -113,7 +216,7 @@ func (e *Engine) Events() uint64 { return e.nEvents }
 
 // Pending returns the number of events currently queued. Canceled events
 // are removed immediately, so Pending reflects live events only.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue) + e.fifoLive }
 
 // schedule allocates (or reuses) an event node and pushes it on the queue.
 func (e *Engine) schedule(t Time, kind uint8) *Event {
@@ -132,8 +235,51 @@ func (e *Engine) schedule(t Time, kind uint8) *Event {
 	ev.t = t
 	ev.seq = e.seq
 	ev.kind = kind
-	e.heapPush(ev)
+	if t == e.now {
+		ev.index = idxFIFO
+		e.fifo = append(e.fifo, heapEntry{t: t, seq: ev.seq, ev: ev})
+		e.fifoLive++
+	} else {
+		e.heapPush(ev)
+	}
 	return ev
+}
+
+// popNext removes and returns the earliest queued event, or nil when both
+// queues are empty.
+func (e *Engine) popNext() *Event {
+	for e.fifoHead < len(e.fifo) && e.fifo[e.fifoHead].ev == nil {
+		e.fifoHead++ // skip canceled entries
+	}
+	if e.fifoHead == len(e.fifo) {
+		e.fifo = e.fifo[:0]
+		e.fifoHead = 0
+		if len(e.queue) == 0 {
+			return nil
+		}
+		return e.heapPop()
+	}
+	if len(e.queue) == 0 || entryLess(e.fifo[e.fifoHead], e.queue[0]) {
+		ev := e.fifo[e.fifoHead].ev
+		e.fifo[e.fifoHead].ev = nil
+		e.fifoHead++
+		e.fifoLive--
+		ev.index = idxFree
+		return ev
+	}
+	return e.heapPop()
+}
+
+// fifoRemove cancels a now-FIFO entry in place; popNext skips the hole.
+func (e *Engine) fifoRemove(ev *Event) {
+	for i := e.fifoHead; i < len(e.fifo); i++ {
+		if e.fifo[i].ev == ev {
+			e.fifo[i].ev = nil
+			e.fifoLive--
+			break
+		}
+	}
+	ev.index = idxFree
 }
 
 // recycle returns a node (already off the queue) to the free list. The
@@ -143,7 +289,7 @@ func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	ev.proc = nil
 	ev.tm = nil
-	ev.index = -1
+	ev.index = idxFree
 	e.free = append(e.free, ev)
 }
 
@@ -152,7 +298,7 @@ func (e *Engine) recycle(ev *Event) {
 func (e *Engine) At(t Time, fn func()) EventRef {
 	ev := e.schedule(t, evCall)
 	ev.fn = fn
-	return EventRef{ev: ev, gen: ev.gen}
+	return EventRef{ev: ev, gen: ev.gen, epoch: e.epoch}
 }
 
 // After schedules fn to run d nanoseconds of virtual time from now.
@@ -164,7 +310,7 @@ func (e *Engine) After(d Time, fn func()) EventRef { return e.At(e.now+d, fn) }
 func (e *Engine) AtTimer(t Time, tm Timer) EventRef {
 	ev := e.schedule(t, evTimer)
 	ev.tm = tm
-	return EventRef{ev: ev, gen: ev.gen}
+	return EventRef{ev: ev, gen: ev.gen, epoch: e.epoch}
 }
 
 // wakeAt schedules a typed wake-up of p at time t: the common case (Sleep,
@@ -240,7 +386,7 @@ func (e *Engine) heapPop() *Event {
 	if n > 0 {
 		e.siftDown(0)
 	}
-	ev.index = -1
+	ev.index = idxFree
 	return ev
 }
 
@@ -256,7 +402,7 @@ func (e *Engine) heapRemove(ev *Event) {
 		e.siftDown(i)
 		e.siftUp(i)
 	}
-	ev.index = -1
+	ev.index = idxFree
 }
 
 // OnKill registers a hook invoked (in engine context) whenever a process is
@@ -307,8 +453,11 @@ func (p *ProcFailureError) Unwrap() []error {
 // *ProcFailureError if a process failed (with any deadlock report
 // attached), and a *DeadlockError if processes remain blocked afterwards.
 func (e *Engine) Run() error {
-	for len(e.queue) > 0 {
-		ev := e.heapPop()
+	for {
+		ev := e.popNext()
+		if ev == nil {
+			break
+		}
 		e.now = ev.t
 		e.nEvents++
 		// Copy the payload out and recycle before dispatch: the callback
@@ -348,8 +497,8 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// resume hands control to p and blocks until p parks, exits, or crashes.
-// Must be called from engine context.
+// resume hands control to p (a coroutine switch) and regains it when p
+// parks, exits, or crashes. Must be called from engine context.
 func (e *Engine) resume(p *Proc) {
 	if p.state != stateParked {
 		return // already dead/done; stale wake-up
@@ -357,9 +506,20 @@ func (e *Engine) resume(p *Proc) {
 	p.state = stateRunning
 	prev := e.cur
 	e.cur = p
-	p.resumeCh <- struct{}{}
-	<-e.parkedCh
+	p.next()
 	e.cur = prev
+}
+
+// Unblock resumes a process parked via Proc.Block, running it inline until
+// it parks again or finishes — exactly what dispatching a scheduled wake
+// event would do. It must be called from engine context (an event callback):
+// state machines that complete a logical operation on behalf of a parked
+// process use it as the final hand-back.
+func (e *Engine) Unblock(p *Proc) {
+	if e.cur != nil {
+		panic("sim: Unblock called from process context")
+	}
+	e.resume(p)
 }
 
 // Current returns the process currently executing, or nil when in pure

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/testutil"
@@ -264,5 +265,52 @@ func TestFutureSingleWaiterAllocs(t *testing.T) {
 	// Budget: fixed setup plus the futs slice; no per-wait allocation.
 	if avg > 40 {
 		t.Fatalf("%d future waits allocated %.0f objects, budget 40", rounds, avg)
+	}
+}
+
+// mustPanic runs fn and reports whether it panicked with a message
+// containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestHandlesAcrossResetPanic pins the epoch guard: an EventRef or Future
+// leaked across Engine.Reset is a protocol bug in the pooled-engine
+// contract, and any use of one must panic loudly instead of silently
+// canceling (or completing into) an event of the next simulation that
+// happens to reuse the same pooled node.
+func TestHandlesAcrossResetPanic(t *testing.T) {
+	e := NewPooled()
+	defer func() {
+		e.Reset()
+		e.Shutdown()
+	}()
+
+	ref := e.At(5, func() {})
+	fut := e.NewFuture()
+	e.Reset()
+
+	mustPanic(t, "EventRef used across Engine.Reset", func() { ref.Cancel() })
+	mustPanic(t, "EventRef used across Engine.Reset", func() { _ = ref.Time() })
+	mustPanic(t, "Future used across Engine.Reset", func() { fut.Complete(nil, nil) })
+
+	// The engine itself must stay fully usable after the recovered panics.
+	fired := false
+	e.At(1, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event scheduled after Reset did not fire")
 	}
 }

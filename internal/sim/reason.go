@@ -21,6 +21,9 @@ const (
 	WaitRecv
 	// WaitSendDone is a blocked wait for local send completion.
 	WaitSendDone
+	// WaitColl is a process parked inside a collective operation whose
+	// progress is driven by a state machine; A is the operation code.
+	WaitColl
 	// WaitCustom renders Str verbatim.
 	WaitCustom
 )
@@ -51,6 +54,8 @@ func (r ParkReason) String() string {
 		return fmt.Sprintf("recv from %d tag %d", r.A, r.B)
 	case WaitSendDone:
 		return "send completion"
+	case WaitColl:
+		return fmt.Sprintf("in collective op %d", r.A)
 	case WaitCustom:
 		return r.Str
 	default:
