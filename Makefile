@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-alloc bench bench-json lint sweep figures campaign campaign-ccr check-docs validate-scenarios
+.PHONY: build test test-alloc bench bench-json lint sweep figures campaign campaign-ccr explore check-docs validate-scenarios
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,11 @@ campaign:
 
 campaign-ccr:
 	$(GO) run ./cmd/sweep -spec scenarios/campaign-ccr-vs-replication.json -mode campaign
+
+# Adaptive exploration: CI-driven trial refinement plus crossover bisection
+# and optimal-tau search over the checked-in coarse grid.
+explore:
+	$(GO) run ./cmd/sweep -spec scenarios/explore-crossover.json -mode explore
 
 validate-scenarios:
 	@for f in scenarios/*.json; do \

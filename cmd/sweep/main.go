@@ -70,6 +70,21 @@
 //	sweep -spec scenarios/smoke.json -json -store results -shard 2/3
 //	sweep merge -spec scenarios/smoke.json -json -store results
 //
+// Explore mode (-mode explore) spends a global trial budget adaptively
+// instead of a fixed per-point count: CI-width-driven refinement batches
+// trials where the relative CI95 is widest, the ccr-vs-replication
+// crossover is located by bisection on the MTBF axis with budgeted
+// CI-separated probes, and each ccr point's optimal checkpoint interval is
+// golden-sectioned over measured replays on common failure traces
+// (internal/explore). Trial streams derive from scenario fingerprints, so
+// the output is byte-identical at any -workers count and a store-backed
+// re-run is fully warm (misses=0), probe points included:
+//
+//	sweep -mode explore -spec scenarios/explore-crossover.json -json
+//	sweep -mode explore -app gtc -procs 8 -ft ccr -mtbf 0.01,0.1,1 -budget 2000 -target-ci 0.03
+//	sweep -mode explore -spec scenarios/explore-crossover.json -store results -json
+//	sweep merge -mode explore -spec scenarios/explore-crossover.json -store results -json
+//
 // Jobstream mode runs a workload scenario file (a "workload" section; see
 // scenarios/jobstream-*.json) as an open-load cluster service: a seeded
 // Poisson job stream placed by pluggable schedulers under per-job
@@ -100,6 +115,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/jobstream"
 	"repro/internal/perf"
 	"repro/internal/scenario"
@@ -149,6 +165,11 @@ func main() {
 	ckptRestart := flag.Float64("ckpt-restart", 0, "campaign: restart cost in seconds, analytic and measured ccr (0 = ckpt-delta)")
 	ckptTau := flag.Float64("ckpt-tau", 0, "campaign: ccr checkpoint interval in seconds (0 = Daly's optimal interval per point)")
 	ft := flag.String("ft", "replication", "campaign: fault-tolerance sides to measure — 'replication' (the -modes grid) or 'ccr' (adds a measured checkpoint/restart series at the native budget next to it)")
+	budget := flag.Int("budget", 0, "explore: global adaptive trial budget (0 = default 4000)")
+	round := flag.Int("round", 0, "explore: trials per point per allocation round (0 = default 10)")
+	targetCI := flag.Float64("target-ci", 0, "explore: refinement target — widest acceptable relative CI95 per point (0 = default 0.05)")
+	bracketRatio := flag.Float64("bracket-ratio", 0, "explore: crossover bisection stops when bracket hi/lo reaches this ratio (0 = default 1.5)")
+	tauTraces := flag.Int("tau-traces", 0, "explore: failure traces per optimal-tau objective evaluation (0 = default 24)")
 	storeDir := flag.String("store", "", "back the run with a persistent result store in this directory (content-addressed cache; see the package docs)")
 	shardFlag := flag.String("shard", "", "with -store: populate only shard i/N of the run (e.g. 0/3) and report a summary instead of results")
 	progress := flag.Duration("progress", 0, "print a progress heartbeat to stderr at this interval (e.g. 2s; 0 = off)")
@@ -166,17 +187,25 @@ func main() {
 		return
 	}
 
-	if *modeFlag != "campaign" {
+	if *modeFlag != "campaign" && *modeFlag != "explore" {
 		for _, flagName := range []string{"mtbf", "horizon", "ckpt-delta", "ckpt-restart", "ckpt-tau", "ft"} {
 			if setFlags[flagName] {
-				fail("-%s requires -mode campaign", flagName)
+				fail("-%s requires -mode campaign or -mode explore", flagName)
 			}
 		}
 	}
 	if *modeFlag != "campaign" && *modeFlag != "jobstream" {
-		for _, flagName := range []string{"trials", "seed"} {
+		if setFlags["trials"] {
+			fail("-trials requires -mode campaign or -mode jobstream (explore allocates trials from -budget)")
+		}
+		if *modeFlag != "explore" && setFlags["seed"] {
+			fail("-seed requires -mode campaign, explore or jobstream")
+		}
+	}
+	if *modeFlag != "explore" {
+		for _, flagName := range []string{"budget", "round", "target-ci", "bracket-ratio", "tau-traces"} {
 			if setFlags[flagName] {
-				fail("-%s requires -mode campaign or -mode jobstream", flagName)
+				fail("-%s requires -mode explore", flagName)
 			}
 		}
 	}
@@ -191,6 +220,13 @@ func main() {
 
 	ccfg := campaign.Config{
 		Trials: *trials, Seed: *seed, Workers: *workers,
+		Horizon:   sim.Seconds(*horizon),
+		CkptDelta: *ckptDelta, CkptRestart: *ckptRestart, CkptTau: *ckptTau,
+	}
+	ecfg := explore.Config{
+		Budget: *budget, Round: *round, TargetCI: *targetCI,
+		BracketRatio: *bracketRatio, TauTraces: *tauTraces,
+		Seed: *seed, Workers: *workers,
 		Horizon:   sim.Seconds(*horizon),
 		CkptDelta: *ckptDelta, CkptRestart: *ckptRestart, CkptTau: *ckptTau,
 	}
@@ -211,6 +247,9 @@ func main() {
 	if *shardFlag != "" {
 		if mergeMode {
 			fail("merge runs the whole grid; -shard only applies to populate runs")
+		}
+		if *modeFlag == "explore" {
+			fail("-shard does not apply to -mode explore: the adaptive allocation is a single sequential decision process (share work through -store instead)")
 		}
 		if *storeDir == "" {
 			fail("-shard needs a -store directory")
@@ -254,6 +293,9 @@ func main() {
 					s := sctx.st.Stats()
 					line += fmt.Sprintf("; store hits=%d misses=%d", s.Hits, s.Misses)
 				}
+				if status := experiments.Progress.Status(); status != "" {
+					line += "; " + status
+				}
 				fmt.Fprintln(os.Stderr, line)
 			}
 		}()
@@ -289,6 +331,10 @@ func main() {
 			if err := runCampaignSpec(os.Stdout, f, ccfg, *jsonOut, sctx); err != nil {
 				fail("%v", err)
 			}
+		case "explore":
+			if err := runExploreSpec(os.Stdout, f, ecfg, *jsonOut, sctx); err != nil {
+				fail("%v", err)
+			}
 		case "jobstream":
 			if f.Workload == nil {
 				fail("-mode jobstream needs a workload file (%s has no workload section)", *specFile)
@@ -297,7 +343,7 @@ func main() {
 				fail("%v", err)
 			}
 		default:
-			fail("unknown -mode %q (campaign | jobstream)", *modeFlag)
+			fail("unknown -mode %q (campaign | explore | jobstream)", *modeFlag)
 		}
 	case *modeFlag == "jobstream":
 		fail("-mode jobstream needs a -spec workload file")
@@ -320,8 +366,27 @@ func main() {
 		if err := runCampaign(os.Stdout, ccfg, scs, *netName, *machineName, *jsonOut, sctx); err != nil {
 			fail("%v", err)
 		}
+	case *modeFlag == "explore":
+		if *figures != "" {
+			fail("-mode explore uses the -app grid, not -figures")
+		}
+		if *app == "" {
+			fail("-mode explore needs an -app grid or a -spec file")
+		}
+		modes := *modesFlag
+		if !setFlags["modes"] {
+			modes = "classic,intra"
+		}
+		scs, err := campaignGrid(*app, modes, *procsFlag, *degreesFlag, *iters, *tasks,
+			*netName, *machineName, *mtbfFlag, measureCCR)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := runExplore(os.Stdout, ecfg, scs, *netName, *machineName, *jsonOut, sctx); err != nil {
+			fail("%v", err)
+		}
 	case *modeFlag != "":
-		fail("unknown -mode %q (campaign | jobstream)", *modeFlag)
+		fail("unknown -mode %q (campaign | explore | jobstream)", *modeFlag)
 	case *figures != "" && *app != "":
 		fail("use either -figures or -app, not both")
 	case *figures != "":
@@ -844,6 +909,50 @@ func runCampaignSpec(w io.Writer, f *scenario.File, cfg campaign.Config, jsonOut
 	}
 	netLabel, machineLabel := scenario.PlatformLabels(scs)
 	return runCampaign(w, cfg, camp, netLabel, machineLabel, jsonOut, sctx)
+}
+
+// runExplore drives the adaptive explorer over a campaign grid and reports
+// the refined points, measured crossover brackets and tau searches. The
+// stdout report is a pure function of (config, grid) — store-backed,
+// merge and any worker count all emit identical bytes; store verification
+// traffic goes to stderr.
+func runExplore(w io.Writer, cfg explore.Config, scs []campaign.Scenario,
+	netLabel, machineLabel string, jsonOut bool, sctx storeCtx) error {
+	cfg.Store = sctx.st
+	res, err := explore.Run(cfg, scs)
+	if err != nil {
+		return err
+	}
+	if sctx.st != nil {
+		fmt.Fprintf(os.Stderr, "sweep: explore records byte-verified against store: %d\n", res.StoreVerified())
+	}
+	if jsonOut {
+		emitJSON(w, struct {
+			Net     string `json:"net"`
+			Machine string `json:"machine"`
+			*explore.Result
+		}{netLabel, machineLabel, res})
+		return nil
+	}
+	fmt.Fprintln(w, res.Table().String())
+	return nil
+}
+
+// runExploreSpec runs a scenario file's MTBF-carrying points adaptively.
+func runExploreSpec(w io.Writer, f *scenario.File, cfg explore.Config, jsonOut bool, sctx storeCtx) error {
+	scs, err := f.Expand()
+	if err != nil {
+		return err
+	}
+	camp := make([]campaign.Scenario, len(scs))
+	for i, sc := range scs {
+		camp[i], err = campaign.FromScenario(sc)
+		if err != nil {
+			return err
+		}
+	}
+	netLabel, machineLabel := scenario.PlatformLabels(scs)
+	return runExplore(w, cfg, camp, netLabel, machineLabel, jsonOut, sctx)
 }
 
 func emitJSON(w io.Writer, v any) {

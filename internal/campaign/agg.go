@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"encoding/json"
 	"math"
 )
 
@@ -144,6 +145,21 @@ func (a *Agg) wire() aggWire {
 func (w aggWire) agg() Agg {
 	return Agg{count: w.Count, min: w.Min, max: w.Max,
 		sum: expansion{partials: w.Sum}, sumsq: expansion{partials: w.SumSq}}
+}
+
+// MarshalJSON encodes the aggregate in its exact wire form, so persisted
+// aggregates round-trip losslessly (same partials, bit for bit) and two
+// runs that folded the same trials in the same order compare byte-equal.
+func (a Agg) MarshalJSON() ([]byte, error) { return json.Marshal(a.wire()) }
+
+// UnmarshalJSON restores an aggregate from its wire form.
+func (a *Agg) UnmarshalJSON(b []byte) error {
+	var w aggWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*a = w.agg()
+	return nil
 }
 
 // newAgg builds the aggregate of a pooled value list.

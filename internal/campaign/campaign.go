@@ -370,6 +370,7 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	experiments.Progress.SetStatus(fmt.Sprintf("campaign: %d scenarios, measuring references", len(scenarios)))
 	baseRes, err := experiments.SweepStore(cfg.Workers, cfg.Store, base)
 	if err != nil {
 		return nil, fmt.Errorf("campaign references: %w", err)
@@ -380,6 +381,7 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 	}
 	specs, draws, trialAt := plan.specs, plan.draws, plan.trialAt
 	horizons, grow, params := plan.horizons, plan.grow, plan.params
+	experiments.Progress.SetStatus(fmt.Sprintf("campaign: %d replicated trials (%d specs)", trials, len(specs)))
 	trialRes, err := experiments.SweepStore(cfg.Workers, cfg.Store, specs)
 	if err != nil {
 		return nil, fmt.Errorf("campaign trials: %w", err)
@@ -388,7 +390,9 @@ func Run(cfg Config, scenarios []Scenario) (*Result, error) {
 	// Phase 2b: ccr replays, fanned out over the same worker count. Each
 	// replay is independent and deterministic in (seed, scenario, trial),
 	// so the fan-out cannot affect the aggregate.
+	experiments.Progress.SetStatus("campaign: ccr replays")
 	replays := runCCRTrials(cfg, scenarios, trials, baseRes, params, horizons, grow)
+	experiments.Progress.SetStatus("campaign: aggregating")
 
 	// Phase 3: aggregate per scenario, in grid order.
 	out := &Result{Seed: cfg.Seed, Trials: trials}

@@ -15,6 +15,7 @@ var Progress ProgressCounter
 // is ready to use; all methods are safe for concurrent callers.
 type ProgressCounter struct {
 	done, total atomic.Int64
+	status      atomic.Value // string: current phase, human-readable
 }
 
 // Plan records n upcoming work units.
@@ -26,4 +27,15 @@ func (p *ProgressCounter) Done() { p.done.Add(1) }
 // Snapshot reads the counters.
 func (p *ProgressCounter) Snapshot() (done, total int64) {
 	return p.done.Load(), p.total.Load()
+}
+
+// SetStatus publishes a one-line description of the current phase — the
+// campaign and explore drivers report rounds, budget spent and the current
+// widest-CI point here. Empty clears it.
+func (p *ProgressCounter) SetStatus(s string) { p.status.Store(s) }
+
+// Status reads the current phase line ("" when none was published).
+func (p *ProgressCounter) Status() string {
+	s, _ := p.status.Load().(string)
+	return s
 }

@@ -25,18 +25,22 @@ func pingPongAllocs(t *testing.T, rounds int) float64 {
 					t.Error(err)
 					return
 				}
-				if _, err := r.Recv(r.World(), 1, 1); err != nil {
+				msg, err := r.Recv(r.World(), 1, 1)
+				if err != nil {
 					t.Error(err)
 					return
 				}
+				w.RecycleMessage(msg)
 			}
 		})
 		w.Launch("b", 1, func(r *Rank) {
 			for i := 0; i < rounds; i++ {
-				if _, err := r.Recv(r.World(), 0, 0); err != nil {
+				msg, err := r.Recv(r.World(), 0, 0)
+				if err != nil {
 					t.Error(err)
 					return
 				}
+				w.RecycleMessage(msg)
 				if err := r.Send(r.World(), 0, 1, payload, nil); err != nil {
 					t.Error(err)
 					return
@@ -49,13 +53,13 @@ func pingPongAllocs(t *testing.T, rounds int) float64 {
 	})
 }
 
-// TestPingPongAllocBudget pins the allocation-light p2p hot path. One round
-// is two messages plus two receives; each message costs the payload copy,
-// the Message, the Request, and the in-flight record, and each receive one
-// Request — everything else (events, transfers, delivery and completion
-// callbacks, park reasons) must stay allocation-free. The pre-refactor
-// engine spent ~40 allocations per round; the budget fails CI if the hot
-// path regresses toward that.
+// TestPingPongAllocBudget pins the allocation-free p2p hot path. Blocking
+// Send copies into a pooled message, the receiver hands the consumed message
+// back via RecycleMessage, and requests, transfer nodes and channel states
+// all cycle through the world pools — so a steady-state round allocates
+// nothing beyond amortized pool slab refills. The pre-refactor engine spent
+// ~40 allocations per round and the copying Send 4; the budget fails CI if
+// the hot path regresses toward either.
 func TestPingPongAllocBudget(t *testing.T) {
 	if testutil.RaceEnabled {
 		t.Skip("allocation budgets are meaningless under the race detector")
@@ -63,8 +67,8 @@ func TestPingPongAllocBudget(t *testing.T) {
 	const span = 1000
 	perRound := (pingPongAllocs(t, 100+span) - pingPongAllocs(t, 100)) / span
 	t.Logf("allocs per ping-pong round: %.2f", perRound)
-	if perRound > 12 {
-		t.Fatalf("ping-pong round allocates %.2f objects, budget 12", perRound)
+	if perRound > 1 {
+		t.Fatalf("ping-pong round allocates %.2f objects, budget 1", perRound)
 	}
 }
 
@@ -114,15 +118,22 @@ func TestCollectiveAllocBudgets(t *testing.T) {
 		{"bcast-64", 64, func(r *Rank, buf []float64) error { return r.Bcast(r.World(), 0, buf) }},
 		{"allreduce-8", 8, func(r *Rank, buf []float64) error { return r.Allreduce(r.World(), OpSum, buf) }},
 		{"allreduce-64", 64, func(r *Rank, buf []float64) error { return r.Allreduce(r.World(), OpSum, buf) }},
+		{"allreduce-512", 512, func(r *Rank, buf []float64) error { return r.Allreduce(r.World(), OpSum, buf) }},
 	}
 	const span = 60
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			perOp := (collAllocs(t, tc.n, 20+span, tc.op) - collAllocs(t, tc.n, 20, tc.op)) / span
+			rounds := 20
+			if tc.n >= 512 {
+				// The big world warms its pools in fewer rounds and each op
+				// costs ~1 ms; keep the differencing window affordable.
+				rounds = 5
+			}
+			perOp := (collAllocs(t, tc.n, rounds+span, tc.op) - collAllocs(t, tc.n, rounds, tc.op)) / span
 			perRankOp := perOp / float64(tc.n)
 			t.Logf("%s: %.2f allocs per collective (%.3f per rank)", tc.name, perOp, perRankOp)
-			if perRankOp > 8 {
-				t.Fatalf("%s allocates %.2f objects per rank per op, budget 8", tc.name, perRankOp)
+			if perRankOp > 1 {
+				t.Fatalf("%s allocates %.2f objects per rank per op, budget 1", tc.name, perRankOp)
 			}
 		})
 	}

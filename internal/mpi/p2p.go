@@ -106,17 +106,20 @@ func newRequest(st *rankState, isRecv bool, key matchKey) *Request {
 	// (blocking Send/Recv, the collective state machines) return them.
 	w := st.w
 	sc := w.sc
-	var rq *Request
-	if n := len(sc.reqFree); n > 0 {
-		rq = sc.reqFree[n-1]
-		sc.reqFree[n-1] = nil
-		sc.reqFree = sc.reqFree[:n-1]
-		rq.st = st
-		rq.isRecv = isRecv
-		rq.key = key
-	} else {
-		rq = &Request{st: st, isRecv: isRecv, key: key}
+	n := len(sc.reqFree)
+	if n == 0 {
+		slab := make([]Request, requestSlab)
+		for i := range slab {
+			sc.reqFree = append(sc.reqFree, &slab[i])
+		}
+		n = requestSlab
 	}
+	rq := sc.reqFree[n-1]
+	sc.reqFree[n-1] = nil
+	sc.reqFree = sc.reqFree[:n-1]
+	rq.st = st
+	rq.isRecv = isRecv
+	rq.key = key
 	w.reqSeq++
 	rq.id = w.reqSeq
 	rq.fut.Init(w.e)
@@ -238,6 +241,7 @@ func (st *rankState) isendSized(c *Comm, dst, tag int, data []float64, meta any,
 	dstCh := dstState.chanFor(key)
 	dstCh.inflight++
 	om := w.getOutMsg()
+	om.srcSt = st
 	om.dstSt = dstState
 	om.dstCh = dstCh
 	om.msg = msg
@@ -292,6 +296,7 @@ func (st *rankState) isendPooled(c *Comm, dst, tag int, data []float64, meta any
 	dstCh := dstState.chanFor(key)
 	dstCh.inflight++
 	om := w.getOutMsg()
+	om.srcSt = st
 	om.dstSt = dstState
 	om.dstCh = dstCh
 	om.msg = msg
@@ -334,10 +339,19 @@ type nopTimer struct{}
 
 func (nopTimer) Fire() {}
 
+// pruneDelivered is the garbage threshold for pruneOutgoing: once this many
+// transfers have been delivered since the last prune, the next send compacts
+// the in-flight list. Triggering on actual deliveries (rather than raw list
+// length, which let every rank float up to 64 dead nodes — ~32k objects
+// across a 512-rank world before the pool saw its first return) bounds the
+// per-rank float while keeping the scan amortized: a prune always recycles
+// at least pruneDelivered nodes.
+const pruneDelivered = 16
+
 // pruneOutgoing recycles completed transfers so the in-flight list stays
 // small and delivered outMsg nodes return to the world pool.
 func (st *rankState) pruneOutgoing() {
-	if len(st.outgoing) < 64 {
+	if st.delivered < pruneDelivered && len(st.outgoing) < 64 {
 		return
 	}
 	w := st.w
@@ -354,6 +368,7 @@ func (st *rankState) pruneOutgoing() {
 		st.outgoing[i] = nil
 	}
 	st.outgoing = live
+	st.delivered = 0
 }
 
 // deliver matches an arriving message against the channel's pending
@@ -503,9 +518,15 @@ func (r *Rank) WaitallOwned(reqs []*Request) error {
 
 // Send is a blocking send: it returns once the local NIC has finished
 // transmitting (buffered send semantics with completion timing). The
-// request handle never escapes, so it returns to the world pool.
+// request handle never escapes, so it returns to the world pool, and the
+// payload is copied into a pooled message (timing-identical to the Isend
+// path). The receiver owns the delivered message as usual; one that fully
+// consumes it may hand it back via RecycleMessage so the round trip stays
+// allocation-free, and one that retains msg.Data simply keeps it — the pool
+// then does not grow.
 func (r *Rank) Send(c *Comm, dst, tag int, data []float64, meta any) error {
-	rq := r.Isend(c, dst, tag, data, meta)
+	r.flush()
+	rq := r.st.isendPooled(c, dst, tag, data, meta, 8*int64(len(data)))
 	err := r.Wait(rq)
 	r.st.w.putRequest(rq)
 	return err

@@ -90,17 +90,18 @@ func (w *World) UseScratch(sc *Scratch) {
 }
 
 type rankState struct {
-	w        *World
-	rank     int
-	node     int
-	proc     *sim.Proc
-	dead     bool
-	chans    map[matchKey]*chanState // per-(src,tag,comm) matching state
-	outgoing []*outMsg               // transfers this rank has in flight
-	stats    Stats
-	pending  sim.Time   // deferred compute time (batched-compute worlds)
-	coll     *collSM    // pooled collective state machine (lazy)
-	scalar   [1]float64 // scratch cell backing AllreduceScalar
+	w         *World
+	rank      int
+	node      int
+	proc      *sim.Proc
+	dead      bool
+	chans     map[matchKey]*chanState // per-(src,tag,comm) matching state
+	outgoing  []*outMsg               // transfers this rank has in flight
+	delivered int                     // outgoing entries delivered since last prune
+	stats     Stats
+	pending   sim.Time   // deferred compute time (batched-compute worlds)
+	coll      *collSM    // pooled collective state machine (lazy)
+	scalar    [1]float64 // scratch cell backing AllreduceScalar
 }
 
 // chanState is the matching state of one (src, tag, comm) channel. Keeping
@@ -123,14 +124,21 @@ func (st *rankState) chanFor(key matchKey) *chanState {
 		return ch
 	}
 	sc := st.w.sc
-	var ch *chanState
-	if n := len(sc.chFree); n > 0 {
-		ch = sc.chFree[n-1]
-		sc.chFree[n-1] = nil
-		sc.chFree = sc.chFree[:n-1]
-	} else {
-		ch = &chanState{}
+	n := len(sc.chFree)
+	if n == 0 {
+		// Refill by the slab: at 512 ranks a single collective floats a few
+		// thousand single-shot channels before the first retire, and filling
+		// that inventory one object at a time dominates the allocation
+		// profile. One backing array per chanSlab states amortizes it away.
+		slab := make([]chanState, chanSlab)
+		for i := range slab {
+			sc.chFree = append(sc.chFree, &slab[i])
+		}
+		n = chanSlab
 	}
+	ch := sc.chFree[n-1]
+	sc.chFree[n-1] = nil
+	sc.chFree = sc.chFree[:n-1]
 	st.chans[key] = ch
 	return ch
 }
@@ -156,6 +164,7 @@ func (st *rankState) retireSingleShot(key matchKey, ch *chanState) {
 // destination channel state rides along, so delivery hashes no keys.
 type outMsg struct {
 	tr        simnet.Transfer
+	srcSt     *rankState // sending rank (owner of the in-flight list)
 	dstSt     *rankState // destination rank
 	dstCh     *chanState // destination channel state
 	msg       *Message
@@ -167,6 +176,7 @@ type outMsg struct {
 // Fire delivers the message at the arrival time (sim.Timer).
 func (om *outMsg) Fire() {
 	om.delivered = true
+	om.srcSt.delivered++ // lets the sender prune as garbage accrues
 	msg := om.msg
 	om.msg = nil // the receiver owns it now; drop our reference
 	om.dstCh.inflight--
@@ -190,21 +200,38 @@ func (w *World) putRequest(rq *Request) {
 	w.sc.reqFree = append(w.sc.reqFree, rq)
 }
 
+// Pool slab sizes: when a free list runs dry it refills with one backing
+// array of this many objects instead of allocating them one by one. Large
+// worlds float thousands of pooled objects before the first recycle (512
+// ranks hold up to pruneDelivered outMsgs each), and slab refills keep that
+// warm-up from dominating the allocation profile.
+const (
+	outMsgSlab  = 64
+	chanSlab    = 32
+	messageSlab = 16
+	requestSlab = 16
+)
+
 // getMessage returns a pooled message with a payload buffer of length n.
 func (w *World) getMessage(n int) *Message {
 	sc := w.sc
-	if l := len(sc.msgFree); l > 0 {
-		m := sc.msgFree[l-1]
-		sc.msgFree[l-1] = nil
-		sc.msgFree = sc.msgFree[:l-1]
-		if cap(m.Data) < n {
-			m.Data = make([]float64, n)
-		} else {
-			m.Data = m.Data[:n]
+	l := len(sc.msgFree)
+	if l == 0 {
+		slab := make([]Message, messageSlab)
+		for i := range slab {
+			sc.msgFree = append(sc.msgFree, &slab[i])
 		}
-		return m
+		l = messageSlab
 	}
-	return &Message{Data: make([]float64, n)}
+	m := sc.msgFree[l-1]
+	sc.msgFree[l-1] = nil
+	sc.msgFree = sc.msgFree[:l-1]
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	return m
 }
 
 // putMessage recycles a consumed collective message, payload buffer and
@@ -217,17 +244,23 @@ func (w *World) putMessage(m *Message) {
 
 func (w *World) getOutMsg() *outMsg {
 	sc := w.sc
-	if l := len(sc.omFree); l > 0 {
-		om := sc.omFree[l-1]
-		sc.omFree[l-1] = nil
-		sc.omFree = sc.omFree[:l-1]
-		om.delivered = false
-		return om
+	l := len(sc.omFree)
+	if l == 0 {
+		slab := make([]outMsg, outMsgSlab)
+		for i := range slab {
+			sc.omFree = append(sc.omFree, &slab[i])
+		}
+		l = outMsgSlab
 	}
-	return &outMsg{}
+	om := sc.omFree[l-1]
+	sc.omFree[l-1] = nil
+	sc.omFree = sc.omFree[:l-1]
+	om.delivered = false
+	return om
 }
 
 func (w *World) putOutMsg(om *outMsg) {
+	om.srcSt = nil
 	om.dstSt = nil
 	om.dstCh = nil
 	om.msg = nil
@@ -256,6 +289,7 @@ func (w *World) Reclaim() {
 			w.sc.outFree = append(w.sc.outFree, st.outgoing[:0])
 			st.outgoing = nil
 		}
+		st.delivered = 0
 		for key, ch := range st.chans {
 			for i, m := range ch.unexpected {
 				w.putMessage(m)
@@ -411,6 +445,7 @@ func (w *World) onProcKilled(p *sim.Proc) {
 		st.outgoing[i] = nil
 	}
 	st.outgoing = st.outgoing[:0]
+	st.delivered = 0
 	// Fail receives (on every surviving rank) that name the dead rank as
 	// source and cannot be satisfied by queued or in-flight messages.
 	for _, r := range w.ranks {
